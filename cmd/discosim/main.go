@@ -1,0 +1,159 @@
+// Command discosim runs the paper's experiments (§5) and prints the same
+// rows and series the figures and tables report.
+//
+// Usage:
+//
+//	discosim -exp fig2                 # one experiment at default (scaled) sizes
+//	discosim -exp all                  # everything
+//	discosim -exp fig3 -n 16384        # override the size
+//	discosim -exp fig2 -full           # paper-scale sizes (slow, much memory)
+//	discosim -list                     # list experiments
+//
+// Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 addrsize
+// accuracy nerror fingers imbalance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"disco/internal/eval"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(o opts)
+}
+
+type opts struct {
+	n     int // 0 = per-experiment default
+	seed  int64
+	pairs int
+	full  bool
+}
+
+func pick(n, scaled, paper int, full bool) int {
+	if n > 0 {
+		return n
+	}
+	if full {
+		return paper
+	}
+	return scaled
+}
+
+var experiments = []experiment{
+	{"fig2", "state CDFs: Disco/NDDisco/S4 on geometric, AS-level, router-level", func(o opts) {
+		fmt.Print(eval.Fig2State(eval.TopoGeometric, pick(o.n, 4096, 16384, o.full), o.seed).Format())
+		fmt.Print(eval.Fig2State(eval.TopoASLike, pick(o.n, 4096, 30610, o.full), o.seed).Format())
+		fmt.Print(eval.Fig2State(eval.TopoRouterLike, pick(o.n, 8192, 192244, o.full), o.seed).Format())
+	}},
+	{"fig3", "stretch CDFs (first/later): Disco vs S4 on the three topologies", func(o opts) {
+		fmt.Print(eval.Fig3Stretch(eval.TopoGeometric, pick(o.n, 4096, 16384, o.full), o.seed, o.pairs).Format())
+		fmt.Print(eval.Fig3Stretch(eval.TopoASLike, pick(o.n, 4096, 30610, o.full), o.seed, o.pairs).Format())
+		fmt.Print(eval.Fig3Stretch(eval.TopoRouterLike, pick(o.n, 8192, 192244, o.full), o.seed, o.pairs).Format())
+	}},
+	{"fig4", "state/stretch/congestion incl. VRR on 1,024-node G(n,m)", func(o opts) {
+		fmt.Print(eval.Fig45(eval.TopoGnm, pick(o.n, 1024, 1024, o.full), o.seed, o.pairs).Format())
+	}},
+	{"fig5", "state/stretch/congestion incl. VRR on 1,024-node geometric", func(o opts) {
+		fmt.Print(eval.Fig45(eval.TopoGeometric, pick(o.n, 1024, 1024, o.full), o.seed, o.pairs).Format())
+	}},
+	{"fig6", "mean stretch for the six shortcutting heuristics x four topologies", func(o opts) {
+		n1 := pick(o.n, 2048, 30610, o.full)
+		n2 := pick(o.n, 2048, 192244, o.full)
+		n3 := pick(o.n, 2048, 16384, o.full)
+		fmt.Print(eval.Fig6Shortcuts([]eval.Fig6Spec{
+			{Label: "AS-Level", Kind: eval.TopoASLike, N: n1},
+			{Label: "Router-level", Kind: eval.TopoRouterLike, N: n2},
+			{Label: "Geometric", Kind: eval.TopoGeometric, N: n3},
+			{Label: "GNM", Kind: eval.TopoGnm, N: n3},
+		}, o.seed, o.pairs).Format())
+	}},
+	{"fig7", "state in entries and KB (IPv4/IPv6 names) on router-level", func(o opts) {
+		fmt.Print(eval.Fig7StateBytes(pick(o.n, 8192, 192244, o.full), o.seed).Format())
+	}},
+	{"fig8", "messages/node until convergence vs n (event-driven simulation)", func(o opts) {
+		sizes := []int{128, 256, 512, 1024}
+		pvCap := 512
+		if o.n > 0 {
+			sizes = append(sizes, o.n)
+		}
+		fmt.Print(eval.Fig8Convergence(sizes, pvCap, o.seed).Format())
+	}},
+	{"fig9", "scaling sweep: mean stretch and state vs n, geometric graphs", func(o opts) {
+		sizes := []int{1024, 2048, 4096, 8192}
+		if o.full {
+			sizes = []int{2048, 4096, 8192, 16384}
+		}
+		fmt.Print(eval.Fig9Scaling(sizes, o.seed, o.pairs).Format())
+	}},
+	{"fig10", "congestion tail on the AS-level topology", func(o opts) {
+		fmt.Print(eval.Fig10ASCongestion(pick(o.n, 4096, 30610, o.full), o.seed).Format())
+	}},
+	{"addrsize", "explicit-route address sizes on the router-level map (§4.2)", func(o opts) {
+		fmt.Print(eval.AddrSizes(pick(o.n, 16384, 192244, o.full), o.seed).Format())
+	}},
+	{"accuracy", "static vs event-driven simulator agreement (§5)", func(o opts) {
+		fmt.Print(eval.StaticAccuracy(pick(o.n, 512, 1024, o.full), o.seed, o.pairs).Format())
+	}},
+	{"nerror", "robustness to error in the estimate of n (§5)", func(o opts) {
+		n := pick(o.n, 1024, 1024, o.full)
+		fmt.Print(eval.EstimateError(n, o.seed, 0.4, o.pairs).Format())
+		fmt.Print(eval.EstimateError(n, o.seed, 0.6, o.pairs).Format())
+	}},
+	{"fingers", "1 vs 3 overlay fingers: dissemination distance and messages (§5)", func(o opts) {
+		fmt.Print(eval.FingerExperiment(pick(o.n, 1024, 1024, o.full), o.seed).Format())
+	}},
+	{"imbalance", "resolution-DB load imbalance: 1 vs 8 hash functions (§4.5)", func(o opts) {
+		fmt.Print(eval.ResolveImbalance(pick(o.n, 4096, 16384, o.full), o.seed).Format())
+	}},
+	{"landmarks", "operator-chosen landmarks: random vs high/low degree (§6)", func(o opts) {
+		fmt.Print(eval.LandmarkStrategies(eval.TopoASLike, pick(o.n, 2048, 30610, o.full), o.seed, o.pairs).Format())
+	}},
+	{"tradeoff", "TZ k-level state/stretch tradeoff sweep (§6 future work)", func(o opts) {
+		fmt.Print(eval.TradeoffSweep(eval.TopoGnm, pick(o.n, 2048, 16384, o.full), []int{1, 2, 3, 4}, o.seed, o.pairs).Format())
+	}},
+	{"churn", "messages to re-converge after a link failure (§5 future work)", func(o opts) {
+		fmt.Print(eval.ChurnCost(pick(o.n, 256, 1024, o.full), o.seed, 5).Format())
+	}},
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (see -list), or 'all'")
+	n := flag.Int("n", 0, "override network size (0 = experiment default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	pairs := flag.Int("pairs", 500, "sampled source-destination pairs")
+	full := flag.Bool("full", false, "use paper-scale sizes (up to 192,244 nodes; slow)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments {
+			fmt.Printf("  %-10s %s\n", e.name, e.desc)
+		}
+		if *exp == "" {
+			os.Exit(2)
+		}
+		return
+	}
+	o := opts{n: *n, seed: *seed, pairs: *pairs, full: *full}
+	ran := false
+	for _, e := range experiments {
+		if *exp == "all" || *exp == e.name {
+			start := time.Now()
+			fmt.Printf("== %s: %s ==\n", e.name, e.desc)
+			e.run(o)
+			fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}

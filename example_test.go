@@ -1,0 +1,41 @@
+package disco_test
+
+import (
+	"fmt"
+
+	"disco"
+)
+
+// Example builds a tiny network by hand and routes on flat names.
+func Example() {
+	b := disco.NewBuilder(6)
+	b.SetName(0, "gateway")
+	b.SetName(5, "printer")
+	b.AddLink(0, 1, 1).AddLink(1, 2, 1).AddLink(2, 3, 1)
+	b.AddLink(3, 4, 1).AddLink(4, 5, 1).AddLink(0, 5, 10) // slow direct wire
+	nw, err := b.Build(disco.Config{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	r, err := nw.RouteLater("gateway", "printer")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hops=%d length=%.0f stretch=%.1f\n", len(r.Nodes)-1, r.Length, r.Stretch)
+	// Output: hops=5 length=5 stretch=1.0
+}
+
+// ExampleNetwork_RouteFirst shows first-packet routing on a generated
+// topology: only the destination's flat name is known to the source.
+func ExampleNetwork_RouteFirst() {
+	nw, err := disco.RandomGraph(200, 8, 42).Build(disco.Config{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	r, err := nw.RouteFirst("node10", "node150")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("first-packet stretch within bound: %v\n", r.Stretch <= 7)
+	// Output: first-packet stretch within bound: true
+}

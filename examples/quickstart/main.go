@@ -1,0 +1,63 @@
+// Quickstart: build a 500-node network, route between two flat names, and
+// inspect what the protocol actually stores — the three guarantees of the
+// paper in one run: O~(sqrt(n)) state, stretch <= 7 (first packet) / <= 3
+// (later packets), and routing on location-independent names.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"disco"
+)
+
+func main() {
+	// A random network with average degree 8 (the paper's G(n,m)
+	// evaluation topology). Two nodes get human names; the rest default
+	// to "node<i>". Names are flat: nothing about "alice" encodes where
+	// she is.
+	b := disco.RandomGraph(500, 8, 7)
+	b.SetName(17, "alice")
+	b.SetName(481, "bob")
+
+	nw, err := b.Build(disco.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d landmarks\n", nw.N(), len(nw.Landmarks()))
+
+	// First packet: alice knows only the flat name "bob". The packet
+	// finds a sloppy-group member in alice's vicinity that knows bob's
+	// current address, then rides to bob's landmark and down.
+	first, err := nw.RouteFirst("alice", "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first packet:  %d hops, length %.0f, stretch %.3f (guarantee: <= 7)\n",
+		len(first.Nodes)-1, first.Length, first.Stretch)
+
+	// Later packets: alice has learned bob's address, and if alice is in
+	// bob's vicinity, bob has handed back the exact shortest path.
+	later, err := nw.RouteLater("alice", "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("later packets: %d hops, length %.0f, stretch %.3f (guarantee: <= 3)\n",
+		len(later.Nodes)-1, later.Length, later.Stretch)
+
+	// Bob's address is internal to the protocol: his nearest landmark
+	// plus a compact explicit route (a few bits per hop).
+	a, _ := nw.AddressOf("bob")
+	fmt.Printf("bob's address: landmark %d, %d hops, %d bits encoded\n",
+		a.Landmark, a.Hops, a.RouteBits)
+
+	// State: every node stores O~(sqrt(n)) entries regardless of the
+	// topology.
+	st := nw.StateOf(17)
+	n := float64(nw.N())
+	fmt.Printf("alice's state: %d entries (landmarks %d + vicinity %d + labels %d + group %d + overlay %d)\n",
+		st.Total, st.LandmarkRoutes, st.VicinityRoutes, st.LabelMappings, st.GroupAddrs, st.OverlayLinks)
+	fmt.Printf("max state across all nodes: %d entries (sqrt(n log n) = %.0f)\n",
+		nw.MaxState(), math.Sqrt(n*math.Log2(n)))
+}

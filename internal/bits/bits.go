@@ -1,0 +1,112 @@
+// Package bits provides bit-granular writers and readers for the compact
+// explicit-route address format of §4.2: each hop at a node of degree d is
+// encoded in ceil(log2 d) bits, so address sizes are measured in bits, not
+// bytes. (Named after its purpose; the stdlib math/bits package is unrelated
+// and used via alias where needed.)
+package bits
+
+import "fmt"
+
+// Writer accumulates a bit string most-significant-bit first.
+type Writer struct {
+	buf  []byte
+	nbit int
+}
+
+// WriteBits appends the low `width` bits of v (0 <= width <= 64),
+// most-significant first.
+func (w *Writer) WriteBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bits: invalid width %d", width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		byteIdx := w.nbit / 8
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit == 1 {
+			w.buf[byteIdx] |= 1 << uint(7-w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// WriteGamma appends v >= 1 in Elias gamma coding: floor(log2 v) zero bits,
+// then the binary representation of v. Used for hop counts, which have no
+// a-priori width bound (O~(sqrt(n)) hops on a ring, §4.2).
+func (w *Writer) WriteGamma(v uint64) {
+	if v == 0 {
+		panic("bits: gamma coding needs v >= 1")
+	}
+	n := 0
+	for t := v; t > 1; t >>= 1 {
+		n++
+	}
+	w.WriteBits(0, n)
+	w.WriteBits(v, n+1)
+}
+
+// Len returns the number of bits written.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the accumulated bit string padded with zero bits to a byte
+// boundary. The slice is owned by the writer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader consumes a bit string produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int
+	nbit int
+}
+
+// NewReader returns a reader over buf limited to nbit valid bits.
+func NewReader(buf []byte, nbit int) *Reader {
+	return &Reader{buf: buf, nbit: nbit}
+}
+
+// ReadBits consumes `width` bits and returns them as the low bits of the
+// result. It panics past the end of the stream (always a codec bug here).
+func (r *Reader) ReadBits(width int) uint64 {
+	if r.pos+width > r.nbit {
+		panic(fmt.Sprintf("bits: read %d bits past end (%d/%d)", width, r.pos, r.nbit))
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b := (r.buf[r.pos/8] >> uint(7-r.pos%8)) & 1
+		v = v<<1 | uint64(b)
+		r.pos++
+	}
+	return v
+}
+
+// ReadGamma consumes one Elias-gamma-coded value.
+func (r *Reader) ReadGamma() uint64 {
+	n := 0
+	for r.ReadBits(1) == 0 {
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	rest := r.ReadBits(n)
+	return 1<<uint(n) | rest
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// Width returns the number of bits needed to encode values in [0, n), i.e.
+// ceil(log2 n), with Width(0) = Width(1) = 0 (a degree-1 node needs no label
+// bits: there is only one port).
+func Width(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	w := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		w++
+	}
+	return w
+}

@@ -1,0 +1,142 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 1)
+	w.WriteBits(0x3FF, 10)
+	r := NewReader(w.Bytes(), w.Len())
+	if v := r.ReadBits(3); v != 0b101 {
+		t.Errorf("got %b", v)
+	}
+	if v := r.ReadBits(8); v != 0xFF {
+		t.Errorf("got %x", v)
+	}
+	if v := r.ReadBits(1); v != 0 {
+		t.Errorf("got %d", v)
+	}
+	if v := r.ReadBits(10); v != 0x3FF {
+		t.Errorf("got %x", v)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining %d", r.Remaining())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []uint16, widthsSeed int64) bool {
+		rng := rand.New(rand.NewSource(widthsSeed))
+		var w Writer
+		widths := make([]int, len(vals))
+		masked := make([]uint64, len(vals))
+		for i, v := range vals {
+			widths[i] = rng.Intn(17) // 0..16 bits
+			masked[i] = uint64(v) & (1<<uint(widths[i]) - 1)
+			w.WriteBits(uint64(v), widths[i])
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i := range vals {
+			if r.ReadBits(widths[i]) != masked[i] {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []uint64{1, 2, 3, 4, 7, 8, 100, 1023, 1024, 123456789}
+	for _, v := range vals {
+		w.WriteGamma(v)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, v := range vals {
+		if got := r.ReadGamma(); got != v {
+			t.Errorf("gamma roundtrip got %d want %d", got, v)
+		}
+	}
+}
+
+func TestGammaProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == 0 {
+			v = 1
+		}
+		var w Writer
+		w.WriteGamma(v)
+		r := NewReader(w.Bytes(), w.Len())
+		return r.ReadGamma() == v && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var w Writer
+	w.WriteGamma(0)
+}
+
+func TestReadPastEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var w Writer
+	w.WriteBits(1, 1)
+	r := NewReader(w.Bytes(), w.Len())
+	r.ReadBits(2)
+}
+
+func TestWidth(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := Width(n); got != want {
+			t.Errorf("Width(%d)=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestWidthCoversPorts(t *testing.T) {
+	// Any port index p < d must fit in Width(d) bits.
+	f := func(d uint16) bool {
+		deg := int(d%1000) + 1
+		w := Width(deg)
+		return deg-1 < 1<<uint(w) || w == 0 && deg == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLenCounting(t *testing.T) {
+	var w Writer
+	if w.Len() != 0 {
+		t.Error("empty writer len")
+	}
+	w.WriteBits(0, 5)
+	w.WriteBits(0, 4)
+	if w.Len() != 9 {
+		t.Errorf("len %d want 9", w.Len())
+	}
+	if len(w.Bytes()) != 2 {
+		t.Errorf("bytes %d want 2", len(w.Bytes()))
+	}
+}

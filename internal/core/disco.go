@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"disco/internal/graph"
+	"disco/internal/names"
+	"disco/internal/overlay"
+	"disco/internal/resolve"
+	"disco/internal/sloppy"
+	"disco/internal/static"
+)
+
+// Disco is the full name-independent protocol (§4.4): NDDisco plus the
+// landmark name-resolution database (§4.3) and sloppy-group address tables
+// maintained through the dissemination overlay. A source needs only the
+// destination's flat name.
+type Disco struct {
+	ND        *NDDisco
+	DB        *resolve.DB  // consistent-hashing resolution over landmarks
+	View      *sloppy.View // per-node grouping opinions (handles estimate error)
+	Net       *overlay.Net // dissemination overlay (state accounting, Fig. 8)
+	K         int          // vicinity size (same as ND.K)
+	closestW  bool         // §4.4 variant: closest w with a long-enough prefix
+	fallbacks int          // count of lookups that needed the landmark DB
+	misses    int          // count of lookups where even the group had no address
+}
+
+// DiscoOption customizes NewDisco.
+type DiscoOption func(*discoOptions)
+
+type discoOptions struct {
+	ndOpts  []NDOption
+	fingers int
+	vnodes  int
+	seed    int64
+	closest bool
+}
+
+// WithNDOptions forwards options to the underlying NDDisco.
+func WithNDOptions(opts ...NDOption) DiscoOption {
+	return func(o *discoOptions) { o.ndOpts = append(o.ndOpts, opts...) }
+}
+
+// WithFingers sets the number of outgoing overlay fingers per node (the
+// paper evaluates 1 and 3; default 1).
+func WithFingers(f int) DiscoOption { return func(o *discoOptions) { o.fingers = f } }
+
+// WithResolveVNodes sets the number of hash functions per landmark in the
+// resolution DB (default 1; §4.5 notes multiple functions cut imbalance).
+func WithResolveVNodes(v int) DiscoOption { return func(o *discoOptions) { o.vnodes = v } }
+
+// WithSeed seeds overlay finger selection.
+func WithSeed(s int64) DiscoOption { return func(o *discoOptions) { o.seed = s } }
+
+// WithClosestMember switches group-member selection to the §4.4
+// parenthetical variant: "this can be optimized slightly to be the closest
+// node w with a 'long enough' prefix match" — pick the nearest vicinity
+// member matching the destination's full group prefix instead of the
+// longest-prefix one. Shortens the s ⇝ w leg at equal hit probability.
+func WithClosestMember() DiscoOption { return func(o *discoOptions) { o.closest = true } }
+
+// NewDisco assembles the converged Disco protocol over env.
+func NewDisco(env *static.Env, opts ...DiscoOption) *Disco {
+	o := discoOptions{fingers: 1, vnodes: 1, seed: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	nd := NewNDDisco(env, o.ndOpts...)
+	view := sloppy.BuildView(env.Hashes, env.NEst)
+	db := resolve.New(env.Landmarks, env.NameOf, o.vnodes)
+	net := overlay.Build(env.Hashes, view, o.fingers, rand.New(rand.NewSource(o.seed)))
+	return &Disco{ND: nd, DB: db, View: view, Net: net, K: nd.K, closestW: o.closest}
+}
+
+// Env returns the shared environment.
+func (d *Disco) Env() *static.Env { return d.ND.Env }
+
+// HasAddress reports whether node holder stores target's current address:
+// the dissemination overlay delivers t's announcements to (at least) the
+// nodes that mutually agree with t on the grouping (§4.4 core-group
+// argument).
+func (d *Disco) HasAddress(holder, target graph.NodeID) bool {
+	if holder == target {
+		return true
+	}
+	return d.View.Mutual(target, holder)
+}
+
+// FindGroupMember returns the vicinity node w that should hold t's
+// address, plus whether it actually does. Default selection: the node with
+// the longest prefix match between h(w) and h(t), ties broken by distance
+// then ID (§4.4). With WithClosestMember, the closest node whose prefix
+// match covers s's full group width ("long enough"), falling back to
+// longest-prefix when none qualifies.
+func (d *Disco) FindGroupMember(s, t graph.NodeID) (w graph.NodeID, ok bool) {
+	ht := d.Env().HashOf(t)
+	vs := d.ND.Vicinity(s)
+	if d.closestW {
+		need := d.View.KOf(s)
+		best := graph.None
+		bestDist := 0.0
+		for _, e := range vs.Entries {
+			if e.Node == s {
+				continue
+			}
+			if names.CommonPrefixLen(d.Env().HashOf(e.Node), ht) < need {
+				continue
+			}
+			if best == graph.None || e.Dist < bestDist || (e.Dist == bestDist && e.Node < best) {
+				best, bestDist = e.Node, e.Dist
+			}
+		}
+		if best != graph.None {
+			return best, d.HasAddress(best, t)
+		}
+		// No full-prefix member: fall through to longest-prefix.
+	}
+	best := graph.None
+	bestPrefix := -1
+	bestDist := 0.0
+	for _, e := range vs.Entries {
+		if e.Node == s {
+			continue
+		}
+		p := names.CommonPrefixLen(d.Env().HashOf(e.Node), ht)
+		if p > bestPrefix || (p == bestPrefix && (e.Dist < bestDist || (e.Dist == bestDist && e.Node < best))) {
+			best, bestPrefix, bestDist = e.Node, p, e.Dist
+		}
+	}
+	if best == graph.None {
+		return graph.None, false
+	}
+	return best, d.HasAddress(best, t)
+}
+
+// FirstRoute returns the route of a flow's first packet from s to t given
+// only t's flat name. The general path is s ⇝ w ⇝ l_t ⇝ t where w is the
+// vicinity node in t's sloppy group; worst-case stretch 7 (§4.5 Theorem 1).
+// If no vicinity node holds the address (vanishing probability with exact
+// estimates; measurable under injected error) the packet falls back to the
+// landmark resolution database: s ⇝ owner(h(t)) ⇝ l_t ⇝ t.
+func (d *Disco) FirstRoute(s, t graph.NodeID, sc Shortcut) []graph.NodeID {
+	if direct := d.ND.directRoute(s, t); direct != nil {
+		return direct
+	}
+	if d.HasAddress(s, t) {
+		// s is in t's group and already stores the address: pure NDDisco.
+		return d.ND.FirstRoute(s, t, sc)
+	}
+	w, ok := d.FindGroupMember(s, t)
+	if ok {
+		// s ⇝ w (vicinity path), then w forwards using t's address.
+		head := d.ND.Vicinity(s).PathTo(w)
+		rest := d.ND.baseForward(w, t)
+		return d.ND.walk(joinPaths(head, rest), t, sc)
+	}
+	// Fallback: resolution query forwarded through the owning landmark.
+	d.fallbacks++
+	if !ok {
+		d.misses++
+	}
+	owner := d.DB.OwnerOf(d.Env().HashOf(t))
+	head := d.ND.trees.Tree(owner).PathFrom(s) // s ⇝ owner (a landmark)
+	rest := d.ND.baseForward(owner, t)
+	return d.ND.walk(joinPaths(head, rest), t, sc)
+}
+
+// LaterRoute returns the route after the first packet: s has learned t's
+// address (and the handshake applies), so routing is NDDisco with stretch
+// <= 3 (§4.5 Theorem 1).
+func (d *Disco) LaterRoute(s, t graph.NodeID, sc Shortcut) []graph.NodeID {
+	return d.ND.LaterRoute(s, t, sc)
+}
+
+// Fallbacks returns how many FirstRoute calls used the landmark-database
+// fallback, and how many of those were true misses (no vicinity member had
+// the address). Used by the estimate-error experiment (§5).
+func (d *Disco) Fallbacks() (fallbacks, misses int) { return d.fallbacks, d.misses }
+
+// ResetCounters zeroes the fallback/miss counters.
+func (d *Disco) ResetCounters() { d.fallbacks, d.misses = 0, 0 }
+
+// GroupSize returns |G(v)| as v sees it (the number of addresses v stores).
+func (d *Disco) GroupSize(v graph.NodeID) int {
+	n := d.Env().N()
+	count := 0
+	for w := 0; w < n; w++ {
+		if graph.NodeID(w) != v && d.View.InGroup(v, graph.NodeID(w)) {
+			count++
+		}
+	}
+	return count
+}
+
+// String summarizes the instance.
+func (d *Disco) String() string {
+	return fmt.Sprintf("Disco{n=%d, landmarks=%d, K=%d}", d.Env().N(), len(d.Env().Landmarks), d.K)
+}

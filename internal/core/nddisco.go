@@ -1,0 +1,272 @@
+// Package core implements the paper's primary contribution: NDDisco, the
+// name-dependent distributed compact routing protocol (§4.2), and Disco,
+// the full name-independent protocol (§4.4) layered on NDDisco, the
+// landmark name-resolution database (§4.3), sloppy groups and the
+// dissemination overlay.
+//
+// The types here model the *converged data plane*: given a static.Env (the
+// paper's static simulator, §5.1) they materialize exactly the routes the
+// distributed protocol forwards along, including every shortcutting
+// heuristic of Fig. 6. The event-driven control plane that builds the same
+// state dynamically lives in internal/pathvector and internal/overlay, and
+// is cross-validated against this package.
+package core
+
+import (
+	"fmt"
+
+	"disco/internal/graph"
+	"disco/internal/pathtree"
+	"disco/internal/static"
+	"disco/internal/vicinity"
+)
+
+// NDDisco is the converged name-dependent protocol instance: landmark
+// routes plus fixed-size vicinities. The source must know the destination's
+// address for routing (Disco removes that assumption).
+type NDDisco struct {
+	Env *static.Env
+	K   int // vicinity size |V(v)|, Θ(sqrt(n log n))
+
+	vic    map[graph.NodeID]*vicinity.Set
+	vicCap int
+	sssp   *graph.SSSP
+	trees  *pathtree.Cache
+}
+
+// NDOption customizes NewNDDisco.
+type NDOption func(*NDDisco)
+
+// WithK overrides the vicinity size (used by the vicinity-size ablation).
+func WithK(k int) NDOption { return func(r *NDDisco) { r.K = k } }
+
+// WithTreeCacheCap bounds the number of cached shortest-path trees.
+func WithTreeCacheCap(c int) NDOption {
+	return func(r *NDDisco) { r.trees = pathtree.NewCache(r.Env.G, c) }
+}
+
+// WithVicinityCacheCap bounds the number of cached vicinities (0 = unbounded).
+func WithVicinityCacheCap(c int) NDOption { return func(r *NDDisco) { r.vicCap = c } }
+
+// NewNDDisco builds the converged NDDisco data plane over env. Vicinities
+// and shortest-path trees are computed lazily and cached, so instances are
+// cheap to create even on very large graphs.
+func NewNDDisco(env *static.Env, opts ...NDOption) *NDDisco {
+	r := &NDDisco{
+		Env:  env,
+		K:    vicinity.DefaultK(env.N()),
+		vic:  make(map[graph.NodeID]*vicinity.Set),
+		sssp: graph.NewSSSP(env.G),
+	}
+	r.trees = pathtree.NewCache(env.G, 128)
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Vicinity returns V(v), computing and caching it on first use.
+func (r *NDDisco) Vicinity(v graph.NodeID) *vicinity.Set {
+	if s, ok := r.vic[v]; ok {
+		return s
+	}
+	if r.vicCap > 0 && len(r.vic) >= r.vicCap {
+		for k := range r.vic { // evict an arbitrary entry
+			delete(r.vic, k)
+			break
+		}
+	}
+	r.sssp.RunK(v, r.K)
+	set := setFromSSSP(r.sssp, v)
+	r.vic[v] = set
+	return set
+}
+
+func setFromSSSP(s *graph.SSSP, src graph.NodeID) *vicinity.Set {
+	order := s.Order()
+	entries := make([]vicinity.Entry, len(order))
+	for i, w := range order {
+		entries[i] = vicinity.Entry{Node: w, Parent: s.Parent(w), Dist: s.Dist(w)}
+	}
+	return vicinity.FromEntries(src, entries)
+}
+
+// ShortestDist returns the true shortest-path distance d(s,t), used as the
+// stretch denominator.
+func (r *NDDisco) ShortestDist(s, t graph.NodeID) float64 {
+	return r.trees.Tree(t).Dist(s)
+}
+
+// ShortestPath returns a true shortest path s ⇝ t (the path-vector
+// baseline's route).
+func (r *NDDisco) ShortestPath(s, t graph.NodeID) []graph.NodeID {
+	return r.trees.Tree(t).PathFrom(s)
+}
+
+// RouteLen returns the weighted length of a node path.
+func (r *NDDisco) RouteLen(p []graph.NodeID) float64 { return r.Env.G.PathLength(p) }
+
+// FirstRoute returns the route of a flow's first packet from s to t under
+// the given shortcut heuristic, assuming s knows t's address (the
+// name-dependent model). Worst-case stretch 5 (§4.2, [44]).
+func (r *NDDisco) FirstRoute(s, t graph.NodeID, sc Shortcut) []graph.NodeID {
+	if direct := r.directRoute(s, t); direct != nil {
+		return direct
+	}
+	fwd := r.walk(r.baseForward(s, t), t, sc)
+	if !sc.usesReverse() {
+		return fwd
+	}
+	rev := r.walk(r.baseReverse(s, t), t, sc)
+	if r.RouteLen(rev) < r.RouteLen(fwd) {
+		return rev
+	}
+	return fwd
+}
+
+// LaterRoute returns the route of packets after the first: if s ∈ V(t) the
+// destination has informed s of the exact shortest path (the handshake of
+// [44] §4); otherwise the packet keeps using the landmark route. Worst-case
+// stretch 3 (§4.5).
+func (r *NDDisco) LaterRoute(s, t graph.NodeID, sc Shortcut) []graph.NodeID {
+	if direct := r.directRoute(s, t); direct != nil {
+		return direct
+	}
+	if vt := r.Vicinity(t); vt.Contains(s) {
+		// t knows the shortest path t ⇝ s even though s didn't; reversed it
+		// is the exact route s ⇝ t.
+		p := vt.PathTo(s)
+		rev := make([]graph.NodeID, len(p))
+		for i := range p {
+			rev[len(p)-1-i] = p[i]
+		}
+		return rev
+	}
+	return r.FirstRoute(s, t, sc)
+}
+
+// directRoute handles the cases where s already knows a shortest path to t:
+// s == t, t a landmark, or t ∈ V(s). Returns nil otherwise.
+func (r *NDDisco) directRoute(s, t graph.NodeID) []graph.NodeID {
+	if s == t {
+		return []graph.NodeID{s}
+	}
+	if r.Env.IsLM[t] {
+		return r.trees.Tree(t).PathFrom(s)
+	}
+	if vs := r.Vicinity(s); vs.Contains(t) {
+		return vs.PathTo(t)
+	}
+	return nil
+}
+
+// baseForward is the unshortcut route s ⇝ l_t ⇝ t: the learned shortest
+// path to t's landmark followed by t's explicit route.
+func (r *NDDisco) baseForward(s, t graph.NodeID) []graph.NodeID {
+	a := r.Env.AddrOf(t)
+	toLM := r.trees.Tree(a.Landmark).PathFrom(s) // s ⇝ l_t
+	return joinPaths(toLM, a.Path)
+}
+
+// baseReverse is the reversed t → s route as traveled s → t:
+// s ⇝ l_s (reversed explicit route) followed by l_s ⇝ t (shortest path,
+// reversed from t's learned route to the landmark). Valid because the
+// graph is undirected (§6 reversibility assumption).
+func (r *NDDisco) baseReverse(s, t graph.NodeID) []graph.NodeID {
+	a := r.Env.AddrOf(s)
+	down := a.Reverse()                       // s ⇝ l_s
+	toT := r.trees.Tree(a.Landmark).PathTo(t) // l_s ⇝ t
+	return joinPaths(down, toT)
+}
+
+// joinPaths concatenates a⇝b and b⇝c, deduplicating the joint node and
+// trimming any immediate backtrack across the joint (…x,b,x… → …x…),
+// which arises when the second segment starts back along the first.
+func joinPaths(p1, p2 []graph.NodeID) []graph.NodeID {
+	if len(p1) == 0 {
+		return append([]graph.NodeID(nil), p2...)
+	}
+	if len(p2) == 0 {
+		return append([]graph.NodeID(nil), p1...)
+	}
+	if p1[len(p1)-1] != p2[0] {
+		panic(fmt.Sprintf("core: joinPaths segments do not meet: %d vs %d", p1[len(p1)-1], p2[0]))
+	}
+	out := append([]graph.NodeID(nil), p1...)
+	for _, v := range p2[1:] {
+		if len(out) >= 2 && out[len(out)-2] == v {
+			out = out[:len(out)-1] // backtrack x,b,x collapses to x
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// walk simulates the packet traveling along route toward t, applying the
+// configured shortcut heuristics at every node it passes (§4.2).
+func (r *NDDisco) walk(route []graph.NodeID, t graph.NodeID, sc Shortcut) []graph.NodeID {
+	if !sc.usesToDest() && !sc.usesUpDown() {
+		return route
+	}
+	cur := append([]graph.NodeID(nil), route...)
+	for i := 0; i < len(cur)-1; i++ {
+		u := cur[i]
+		vu := r.Vicinity(u)
+		if sc.usesUpDown() {
+			cur = r.spliceUpDown(cur, i, vu)
+			continue
+		}
+		// To-Destination: follow the direct path as soon as any node knows
+		// one. Nodes on a shortest path to t also have t in their
+		// vicinities with consistent sub-paths, so no further improvement
+		// is possible after the splice.
+		if vu.Contains(t) {
+			direct := vu.PathTo(t)
+			return append(cur[:i:i], direct...)
+		}
+	}
+	return cur
+}
+
+// spliceUpDown implements Up-Down Stream at position i: the node inspects
+// the listed route and splices in its vicinity path to the farthest
+// downstream route node it can reach more cheaply.
+func (r *NDDisco) spliceUpDown(cur []graph.NodeID, i int, vu *vicinity.Set) []graph.NodeID {
+	g := r.Env.G
+	// Prefix sums of the remaining route for O(1) segment lengths.
+	segLen := make([]float64, len(cur)-i)
+	for j := i + 1; j < len(cur); j++ {
+		segLen[j-i] = segLen[j-i-1] + g.EdgeWeight(cur[j-1], cur[j])
+	}
+	const eps = 1e-12
+	for j := len(cur) - 1; j > i; j-- {
+		e, ok := vu.Find(cur[j])
+		if !ok {
+			continue
+		}
+		if e.Dist < segLen[j-i]-eps {
+			short := vu.PathTo(cur[j])
+			out := append(cur[:i:i], short...)
+			out = append(out, cur[j+1:]...)
+			return out
+		}
+		// The farthest known node is already optimal; nearer known nodes
+		// lie on consistent shortest sub-paths and cannot improve more.
+		return cur
+	}
+	return cur
+}
+
+// Landmarks returns the number of landmark routes every node stores.
+func (r *NDDisco) Landmarks() int { return len(r.Env.Landmarks) }
+
+// VicinityRadius returns the distance to the farthest member of V(v).
+func (r *NDDisco) VicinityRadius(v graph.NodeID) float64 { return r.Vicinity(v).Radius() }
+
+// ResetCaches drops cached vicinities and trees (between experiments on the
+// same Env).
+func (r *NDDisco) ResetCaches() {
+	r.vic = make(map[graph.NodeID]*vicinity.Set)
+	r.trees = pathtree.NewCache(r.Env.G, r.trees.Cap())
+}

@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"disco/internal/core"
+	"disco/internal/graph"
+	"disco/internal/metrics"
+)
+
+// CongestionResult holds per-edge usage CDFs (right panels of Figs. 4 and
+// 5, and Fig. 10).
+type CongestionResult struct {
+	Kind   TopoKind
+	N      int
+	Edges  int
+	Labels []string
+	CDFs   []*metrics.CDF
+}
+
+// Format renders the summary, highlighting the tail the figures zoom into.
+func (r *CongestionResult) Format() string {
+	s := metrics.FormatSeries(
+		fmt.Sprintf("Congestion (paths per edge) — %s, n=%d, m=%d edges", r.Kind, r.N, r.Edges),
+		r.Labels, r.CDFs)
+	// Tail view (the figures plot CDF from 0.995 / 0.999).
+	s += "  tail quantiles (p99, p99.9, max):\n"
+	for i, l := range r.Labels {
+		c := r.CDFs[i]
+		s += fmt.Sprintf("    %-14s %8.0f %8.0f %8.0f\n", l, c.Quantile(0.99), c.Quantile(0.999), c.Max())
+	}
+	return s
+}
+
+// Get returns the CDF for a labeled series, or nil.
+func (r *CongestionResult) Get(label string) *metrics.CDF {
+	for i, l := range r.Labels {
+		if l == label {
+			return r.CDFs[i]
+		}
+	}
+	return nil
+}
+
+// congestionOf routes one flow per node to a uniform random destination
+// and counts per-edge usage (§5.2 Congestion).
+func congestionOf(g *graph.Graph, rng *rand.Rand, route func(s, t graph.NodeID) []graph.NodeID) *metrics.CDF {
+	cong := metrics.NewCongestion(g.M())
+	n := g.N()
+	for s := 0; s < n; s++ {
+		t := graph.NodeID(rng.Intn(n))
+		if t == graph.NodeID(s) {
+			continue
+		}
+		p := route(graph.NodeID(s), t)
+		for i := 1; i < len(p); i++ {
+			cong.AddEdgeUse(g.EdgeID(p[i-1], p[i]))
+		}
+	}
+	return cong.CDF()
+}
+
+// Congestion reproduces the congestion comparison: every node routes to
+// one random destination under Disco (later packets), S4 (later), path
+// vector (shortest paths) and optionally VRR; per-edge use counts are
+// compared as CDFs over edges.
+func Congestion(p *Protocols, kind TopoKind, seed int64, withVRR bool) *CongestionResult {
+	g := p.Env.G
+	res := &CongestionResult{Kind: kind, N: g.N(), Edges: g.M()}
+
+	res.Labels = append(res.Labels, "Disco")
+	res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), func(s, t graph.NodeID) []graph.NodeID {
+		return p.Disco.LaterRoute(s, t, core.ShortcutNoPathKnowledge)
+	}))
+
+	res.Labels = append(res.Labels, "Path-vector")
+	res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), p.SPR.Route))
+
+	res.Labels = append(res.Labels, "S4")
+	res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), p.S4.LaterRoute))
+
+	if withVRR {
+		v := p.VRR(seed)
+		res.Labels = append(res.Labels, "VRR")
+		res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), v.Route))
+	}
+	return res
+}
+
+// Fig10ASCongestion reproduces Fig. 10: congestion on the AS-level
+// topology, where a small fraction of edges near landmarks sees more load
+// than under shortest-path routing.
+func Fig10ASCongestion(n int, seed int64) *CongestionResult {
+	p := BuildProtocols(TopoASLike, n, seed)
+	return Congestion(p, TopoASLike, seed, false)
+}
+
+// Fig45Result bundles the three panels of Fig. 4 (G(n,m)) or Fig. 5
+// (geometric): state, stretch and congestion on a 1,024-node topology
+// including VRR.
+type Fig45Result struct {
+	Kind       TopoKind
+	State      *StateResult
+	Stretch    *StretchResult
+	Congestion *CongestionResult
+}
+
+// Format renders all three panels.
+func (r *Fig45Result) Format() string {
+	return r.State.Format() + r.Stretch.Format() + r.Congestion.Format()
+}
+
+// Fig45 reproduces Fig. 4 (kind = TopoGnm) or Fig. 5 (TopoGeometric).
+func Fig45(kind TopoKind, n int, seed int64, pairs int) *Fig45Result {
+	p := BuildProtocols(kind, n, seed)
+	st := StateWithVRR(p, seed)
+	st.Kind = kind
+	return &Fig45Result{
+		Kind:       kind,
+		State:      st,
+		Stretch:    StretchWithVRR(p, kind, seed, pairs),
+		Congestion: Congestion(p, kind, seed, true),
+	}
+}

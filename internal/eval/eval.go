@@ -1,0 +1,105 @@
+// Package eval is the experiment harness: one entry point per table and
+// figure of the paper's evaluation (§5), each returning a printable result
+// that reports the same rows/series the paper does. cmd/discosim and the
+// root-level benchmarks are thin wrappers around this package.
+//
+// Default sizes are scaled down from the paper's (which reach 192,244
+// nodes) so the whole suite runs on a laptop; every function takes explicit
+// sizes so cmd/discosim -full can run paper scale. EXPERIMENTS.md records
+// paper-reported vs measured values.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"disco/internal/core"
+	"disco/internal/graph"
+	"disco/internal/metrics"
+	"disco/internal/s4"
+	"disco/internal/spr"
+	"disco/internal/static"
+	"disco/internal/topology"
+	"disco/internal/vrr"
+)
+
+// TopoKind names the evaluation topologies of §5.1.
+type TopoKind string
+
+const (
+	// TopoGnm is the G(n,m) random graph with average degree 8.
+	TopoGnm TopoKind = "gnm"
+	// TopoGeometric is the geometric random graph with Euclidean link
+	// latencies and average degree 8.
+	TopoGeometric TopoKind = "geometric"
+	// TopoASLike stands in for the 30,610-node AS-level Internet map.
+	TopoASLike TopoKind = "aslike"
+	// TopoRouterLike stands in for the 192,244-node router-level map.
+	TopoRouterLike TopoKind = "routerlike"
+)
+
+// BuildTopo generates the named topology at size n, seeded.
+func BuildTopo(kind TopoKind, n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case TopoGnm:
+		return topology.GnmAvgDeg(rng, n, 8)
+	case TopoGeometric:
+		return topology.Geometric(rng, n, 8)
+	case TopoASLike:
+		return topology.ASLike(rng, n)
+	case TopoRouterLike:
+		return topology.RouterLike(rng, n)
+	}
+	panic(fmt.Sprintf("eval: unknown topology %q", kind))
+}
+
+// Protocols bundles the protocol instances built over one environment so
+// experiments share landmarks, names and caches.
+type Protocols struct {
+	Env   *static.Env
+	Disco *core.Disco
+	S4    *s4.S4
+	SPR   *spr.SPR
+}
+
+// BuildProtocols constructs the common environment and protocol stack.
+func BuildProtocols(kind TopoKind, n int, seed int64) *Protocols {
+	g := BuildTopo(kind, n, seed)
+	env := static.NewEnv(g, seed)
+	return &Protocols{
+		Env:   env,
+		Disco: core.NewDisco(env, core.WithSeed(seed)),
+		S4:    s4.New(env, 1),
+		SPR:   spr.New(env),
+	}
+}
+
+// VRR builds the VRR baseline over the same environment (1,024-node
+// experiments only in the paper; VRR construction is O(n^2)-ish).
+func (p *Protocols) VRR(seed int64) *vrr.VRR {
+	rng := rand.New(rand.NewSource(seed))
+	return vrr.New(p.Env, 4, graph.NodeID(rng.Intn(p.Env.N())))
+}
+
+// staticEnv builds the shared environment (indirection so experiment files
+// read uniformly).
+func staticEnv(g *graph.Graph, seed int64) *static.Env { return static.NewEnv(g, seed) }
+
+// intsToCDF converts entry counts to a CDF.
+func intsToCDF(xs []int) *metrics.CDF {
+	fs := make([]float64, len(xs))
+	for i, v := range xs {
+		fs[i] = float64(v)
+	}
+	return metrics.NewCDF(fs)
+}
+
+// sampleCDF builds a CDF over the values of xs at the sampled indices.
+func sampleCDF(xs []int, idx []int) *metrics.CDF {
+	fs := make([]float64, len(idx))
+	for i, j := range idx {
+		fs[i] = float64(xs[j])
+	}
+	return metrics.NewCDF(fs)
+}

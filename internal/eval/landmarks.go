@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"disco/internal/core"
+	"disco/internal/graph"
+	"disco/internal/metrics"
+	"disco/internal/static"
+)
+
+// Operator-chosen landmarks (§6): "although Disco chooses landmarks
+// randomly, its state and stretch bounds require only that each node has
+// at least one landmark within its vicinity and that there are O~(sqrt(n))
+// total landmarks. These rules would permit an operator to choose
+// landmarks in non-random ways, for example to pick a more
+// well-provisioned landmark." This experiment swaps the random landmark
+// set for the same-sized set of highest-degree ("well-provisioned") nodes
+// and measures the effect on stretch, state balance and address size.
+
+// LandmarkStrategyRow is one strategy's measurements.
+type LandmarkStrategyRow struct {
+	Name          string
+	FirstStretch  float64 // mean first-packet stretch (No Path Knowledge)
+	LaterStretch  float64
+	MaxState      int
+	MeanAddrBytes float64
+	Fallbacks     int
+	VicinityMiss  int // nodes with no landmark in their vicinity
+}
+
+// LandmarkStrategyResult compares landmark-selection strategies.
+type LandmarkStrategyResult struct {
+	N    int
+	Kind TopoKind
+	Rows []LandmarkStrategyRow
+}
+
+// Format renders the comparison.
+func (r *LandmarkStrategyResult) Format() string {
+	out := fmt.Sprintf("Operator-chosen landmarks (§6), %s n=%d\n", r.Kind, r.N)
+	out += fmt.Sprintf("  %-12s %12s %12s %10s %12s %10s %8s\n",
+		"strategy", "first-stretch", "later-stretch", "max-state", "addr-bytes", "fallbacks", "lm-miss")
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("  %-12s %12.3f %12.3f %10d %12.2f %10d %8d\n",
+			row.Name, row.FirstStretch, row.LaterStretch, row.MaxState,
+			row.MeanAddrBytes, row.Fallbacks, row.VicinityMiss)
+	}
+	return out
+}
+
+// LandmarkStrategies runs the comparison on one topology: random
+// self-selection (the protocol default) vs the same number of
+// highest-degree nodes vs the same number of lowest-degree nodes (an
+// adversarially bad operator).
+func LandmarkStrategies(kind TopoKind, n int, seed int64, pairs int) *LandmarkStrategyResult {
+	g := BuildTopo(kind, n, seed)
+	base := static.NewEnv(g, seed)
+	count := len(base.Landmarks)
+
+	byDegree := make([]graph.NodeID, n)
+	for i := range byDegree {
+		byDegree[i] = graph.NodeID(i)
+	}
+	sort.Slice(byDegree, func(i, j int) bool {
+		di, dj := g.Degree(byDegree[i]), g.Degree(byDegree[j])
+		if di != dj {
+			return di > dj
+		}
+		return byDegree[i] < byDegree[j]
+	})
+	top := append([]graph.NodeID(nil), byDegree[:count]...)
+	bottom := append([]graph.NodeID(nil), byDegree[n-count:]...)
+	sort.Slice(top, func(i, j int) bool { return top[i] < top[j] })
+	sort.Slice(bottom, func(i, j int) bool { return bottom[i] < bottom[j] })
+
+	res := &LandmarkStrategyResult{N: n, Kind: kind}
+	ps := metrics.SamplePairs(rand.New(rand.NewSource(seed+7000)), n, pairs)
+
+	measure := func(name string, lms []graph.NodeID) {
+		var env *static.Env
+		if lms == nil {
+			env = base
+		} else {
+			env = static.NewEnv(g, seed, static.WithLandmarks(lms))
+		}
+		d := core.NewDisco(env, core.WithSeed(seed))
+		row := LandmarkStrategyRow{Name: name}
+		var fsum, lsum float64
+		cnt := 0
+		for _, pr := range ps {
+			s, t := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
+			short := d.ND.ShortestDist(s, t)
+			if short == 0 {
+				continue
+			}
+			fsum += g.PathLength(d.FirstRoute(s, t, core.ShortcutNoPathKnowledge)) / short
+			lsum += g.PathLength(d.LaterRoute(s, t, core.ShortcutNoPathKnowledge)) / short
+			cnt++
+		}
+		row.FirstStretch = fsum / float64(cnt)
+		row.LaterStretch = lsum / float64(cnt)
+		row.Fallbacks, _ = d.Fallbacks()
+		_, dE, _, _ := d.StateVectors()
+		for _, e := range dE {
+			if e > row.MaxState {
+				row.MaxState = e
+			}
+		}
+		mean, _, _ := env.AddrSizeStats()
+		row.MeanAddrBytes = mean
+		// Count nodes violating the "landmark within vicinity" condition
+		// the guarantees need.
+		for v := 0; v < n; v++ {
+			if !d.ND.Vicinity(graph.NodeID(v)).Contains(env.LMOf[v]) {
+				row.VicinityMiss++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	measure("random", nil)
+	measure("high-degree", top)
+	measure("low-degree", bottom)
+	return res
+}

@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"disco/internal/core"
+	"disco/internal/graph"
+	"disco/internal/metrics"
+)
+
+// StretchResult holds stretch CDFs per series (Fig. 3 and the middle
+// panels of Figs. 4 and 5).
+type StretchResult struct {
+	Kind      TopoKind
+	N         int
+	Pairs     int
+	Labels    []string
+	CDFs      []*metrics.CDF
+	Fallbacks int // Disco first-packet landmark-DB fallbacks observed
+}
+
+// Format renders the figure's summary rows.
+func (r *StretchResult) Format() string {
+	s := metrics.FormatSeries(
+		fmt.Sprintf("Path stretch — %s, n=%d, %d src-dst pairs", r.Kind, r.N, r.Pairs),
+		r.Labels, r.CDFs)
+	if r.Fallbacks > 0 {
+		s += fmt.Sprintf("  (Disco landmark-DB fallbacks: %d)\n", r.Fallbacks)
+	}
+	return s
+}
+
+// Get returns the CDF for a labeled series, or nil.
+func (r *StretchResult) Get(label string) *metrics.CDF {
+	for i, l := range r.Labels {
+		if l == label {
+			return r.CDFs[i]
+		}
+	}
+	return nil
+}
+
+// stretchOf computes route-length/shortest for a route function.
+func stretchOf(g interface {
+	PathLength([]graph.NodeID) float64
+}, route []graph.NodeID, shortest float64) float64 {
+	return metrics.Stretch(g.PathLength(route), shortest)
+}
+
+// Fig3Stretch reproduces Fig. 3: CDFs over sampled source-destination
+// pairs of first- and later-packet stretch for Disco and S4, using the
+// paper's default "No Path Knowledge" shortcutting for Disco.
+func Fig3Stretch(kind TopoKind, n int, seed int64, pairs int) *StretchResult {
+	p := BuildProtocols(kind, n, seed)
+	return stretchOver(p, kind, seed, pairs, false)
+}
+
+// StretchWithVRR adds the VRR series (middle panels of Figs. 4 and 5).
+func StretchWithVRR(p *Protocols, kind TopoKind, seed int64, pairs int) *StretchResult {
+	return stretchOver(p, kind, seed, pairs, true)
+}
+
+func stretchOver(p *Protocols, kind TopoKind, seed int64, pairs int, withVRR bool) *StretchResult {
+	n := p.Env.N()
+	ps := metrics.SamplePairs(rand.New(rand.NewSource(seed+1000)), n, pairs)
+	g := p.Env.G
+
+	discoFirst := make([]float64, 0, pairs)
+	discoLater := make([]float64, 0, pairs)
+	s4First := make([]float64, 0, pairs)
+	s4Later := make([]float64, 0, pairs)
+	var vrrSt []float64
+	var vr interface {
+		Route(s, t graph.NodeID) []graph.NodeID
+	}
+	if withVRR {
+		vr = p.VRR(seed)
+	}
+	p.Disco.ResetCounters()
+	for _, pr := range ps {
+		s, t := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
+		short := p.Disco.ND.ShortestDist(s, t)
+		if short == 0 {
+			continue
+		}
+		discoFirst = append(discoFirst, stretchOf(g, p.Disco.FirstRoute(s, t, core.ShortcutNoPathKnowledge), short))
+		discoLater = append(discoLater, stretchOf(g, p.Disco.LaterRoute(s, t, core.ShortcutNoPathKnowledge), short))
+		s4First = append(s4First, stretchOf(g, p.S4.FirstRoute(s, t), short))
+		s4Later = append(s4Later, stretchOf(g, p.S4.LaterRoute(s, t), short))
+		if withVRR {
+			vrrSt = append(vrrSt, stretchOf(g, vr.Route(s, t), short))
+		}
+	}
+	fb, _ := p.Disco.Fallbacks()
+	res := &StretchResult{
+		Kind:  kind,
+		N:     n,
+		Pairs: pairs,
+		Labels: []string{
+			"Disco-First", "Disco-Later", "S4-First", "S4-Later",
+		},
+		CDFs: []*metrics.CDF{
+			metrics.NewCDF(discoFirst), metrics.NewCDF(discoLater),
+			metrics.NewCDF(s4First), metrics.NewCDF(s4Later),
+		},
+		Fallbacks: fb,
+	}
+	if withVRR {
+		res.Labels = append(res.Labels, "VRR")
+		res.CDFs = append(res.CDFs, metrics.NewCDF(vrrSt))
+	}
+	return res
+}
+
+// Fig6Result is the shortcutting-heuristics table: mean first-packet
+// stretch per heuristic per topology.
+type Fig6Result struct {
+	Topos  []string
+	Rows   []Fig6Row
+	NPairs int
+}
+
+// Fig6Row is one heuristic's mean stretch across the topologies.
+type Fig6Row struct {
+	Heuristic core.Shortcut
+	Means     []float64
+}
+
+// Format renders the Fig. 6 table.
+func (r *Fig6Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — Mean first-packet stretch by shortcutting heuristic (%d pairs)\n", r.NPairs)
+	fmt.Fprintf(&b, "  %-36s", "heuristic")
+	for _, t := range r.Topos {
+		fmt.Fprintf(&b, " %16s", t)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-36s", row.Heuristic.String())
+		for _, m := range row.Means {
+			fmt.Fprintf(&b, " %16.3f", m)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Fig6Spec names one column of the Fig. 6 table.
+type Fig6Spec struct {
+	Label string
+	Kind  TopoKind
+	N     int
+}
+
+// Fig6Shortcuts reproduces the Fig. 6 table: mean stretch of NDDisco first
+// packets under each of the six shortcutting heuristics, across the given
+// topologies (the paper uses AS-level, router-level, geometric-16384 and
+// GNM-16384).
+func Fig6Shortcuts(specs []Fig6Spec, seed int64, pairs int) *Fig6Result {
+	res := &Fig6Result{NPairs: pairs}
+	type sampled struct {
+		nd    *core.NDDisco
+		pairs []metrics.Pair
+	}
+	var cols []sampled
+	for _, sp := range specs {
+		res.Topos = append(res.Topos, sp.Label)
+		p := BuildProtocols(sp.Kind, sp.N, seed)
+		cols = append(cols, sampled{
+			nd:    p.Disco.ND,
+			pairs: metrics.SamplePairs(rand.New(rand.NewSource(seed+2000)), sp.N, pairs),
+		})
+	}
+	for _, sc := range core.AllShortcuts {
+		row := Fig6Row{Heuristic: sc}
+		for _, col := range cols {
+			total, count := 0.0, 0
+			for _, pr := range col.pairs {
+				s, t := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
+				short := col.nd.ShortestDist(s, t)
+				if short == 0 {
+					continue
+				}
+				total += stretchOf(col.nd.Env.G, col.nd.FirstRoute(s, t, sc), short)
+				count++
+			}
+			row.Means = append(row.Means, total/float64(count))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}

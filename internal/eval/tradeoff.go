@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"disco/internal/graph"
+	"disco/internal/metrics"
+	"disco/internal/tzk"
+)
+
+// TradeoffPoint is one k's measurement in the state/stretch sweep.
+type TradeoffPoint struct {
+	K            int
+	MeanState    float64
+	MaxState     int
+	MeanStretch  float64
+	MaxStretch   float64
+	StretchBound int // the theoretical 2k-1
+}
+
+// TradeoffResult answers §6's open question empirically: the
+// Thorup–Zwick k-level family translated to the simulator, sweeping the
+// state/stretch tradeoff that Disco instantiates at k=2.
+type TradeoffResult struct {
+	N      int
+	Kind   TopoKind
+	Points []TradeoffPoint
+}
+
+// Format renders the staircase.
+func (r *TradeoffResult) Format() string {
+	out := fmt.Sprintf("State/stretch tradeoff (TZ k-level family, §6 future work), %s n=%d\n", r.Kind, r.N)
+	out += fmt.Sprintf("  %3s %12s %10s %13s %12s %8s\n", "k", "mean-state", "max-state", "mean-stretch", "max-stretch", "bound")
+	for _, p := range r.Points {
+		out += fmt.Sprintf("  %3d %12.1f %10d %13.3f %12.3f %8d\n",
+			p.K, p.MeanState, p.MaxState, p.MeanStretch, p.MaxStretch, p.StretchBound)
+	}
+	return out
+}
+
+// TradeoffSweep builds the TZ scheme for each k and measures mean/max
+// state and stretch over sampled pairs.
+func TradeoffSweep(kind TopoKind, n int, ks []int, seed int64, pairs int) *TradeoffResult {
+	g := BuildTopo(kind, n, seed)
+	ps := metrics.SamplePairs(rand.New(rand.NewSource(seed+8000)), n, pairs)
+	res := &TradeoffResult{N: n, Kind: kind}
+	for _, k := range ks {
+		s := tzk.New(g, k, rand.New(rand.NewSource(seed+int64(100*k))))
+		pt := TradeoffPoint{K: k, StretchBound: 2*k - 1}
+		entries := s.StateEntries()
+		tot := 0
+		for _, e := range entries {
+			tot += e
+			if e > pt.MaxState {
+				pt.MaxState = e
+			}
+		}
+		pt.MeanState = float64(tot) / float64(n)
+		sum, cnt := 0.0, 0
+		for _, pr := range ps {
+			u, v := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
+			true_ := s.TrueDist(u, v)
+			if true_ == 0 {
+				continue
+			}
+			st := g.PathLength(s.Route(u, v)) / true_
+			sum += st
+			cnt++
+			if st > pt.MaxStretch {
+				pt.MaxStretch = st
+			}
+		}
+		pt.MeanStretch = sum / float64(cnt)
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}

@@ -1,0 +1,226 @@
+// Package graph provides the weighted undirected graph substrate used by
+// every routing protocol in this repository, together with the shortest-path
+// machinery (full, truncated, radius-bounded and multi-source Dijkstra) that
+// the static simulator is built on.
+//
+// Graphs are node-indexed (NodeID 0..n-1) with arbitrary non-negative link
+// distances ("link latencies or costs" in the paper's terms, §4.1). All
+// iteration orders are deterministic: adjacency lists are sorted by neighbor
+// ID and ties in Dijkstra are broken by node ID, so every simulation result
+// in this repository is exactly reproducible.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense: 0..N()-1.
+type NodeID int32
+
+// None is the sentinel "no node" value used in parent arrays.
+const None NodeID = -1
+
+// Edge is one directed half of an undirected link as seen from its owning
+// adjacency list.
+type Edge struct {
+	To     NodeID  // neighbor
+	EID    int32   // undirected edge index, 0..M()-1, shared by both halves
+	Weight float64 // link distance (>= 0)
+}
+
+// Graph is a weighted undirected graph. The zero value is an empty graph;
+// use New to create one with a fixed node count.
+type Graph struct {
+	adj    [][]Edge
+	m      int
+	sorted bool
+}
+
+// New returns a graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{adj: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge adds an undirected edge between u and v with weight w and returns
+// its edge index. It panics on self-loops, out-of-range endpoints, or
+// negative weights. Duplicate edges are the caller's responsibility (the
+// topology generators deduplicate); adding one creates a parallel edge.
+func (g *Graph) AddEdge(u, v NodeID, w float64) int32 {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if int(u) < 0 || int(u) >= len(g.adj) || int(v) < 0 || int(v) >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, len(g.adj)))
+	}
+	if w < 0 {
+		panic(fmt.Sprintf("graph: negative weight %v on edge (%d,%d)", w, u, v))
+	}
+	id := int32(g.m)
+	g.adj[u] = append(g.adj[u], Edge{To: v, EID: id, Weight: w})
+	g.adj[v] = append(g.adj[v], Edge{To: u, EID: id, Weight: w})
+	g.m++
+	g.sorted = false
+	return id
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []Edge { return g.adj[v] }
+
+// Degree returns the number of incident edges of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// Finalize sorts every adjacency list by neighbor ID. It must be called
+// after construction and before PortOf/NeighborAt or any shortest-path
+// computation; the topology generators call it for you.
+func (g *Graph) Finalize() {
+	if g.sorted {
+		return
+	}
+	for _, es := range g.adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].To < es[j].To })
+	}
+	g.sorted = true
+}
+
+// Finalized reports whether Finalize has been called since the last edge
+// was added.
+func (g *Graph) Finalized() bool { return g.sorted }
+
+// PortOf returns the index ("port number") of neighbor `to` within u's
+// sorted adjacency list, or -1 if the edge does not exist. Ports are the
+// per-hop labels of the paper's explicit-route address format (§4.2): a hop
+// at a node of degree d is encoded in ceil(log2 d) bits as this index.
+func (g *Graph) PortOf(u, to NodeID) int {
+	if !g.sorted {
+		panic("graph: PortOf before Finalize")
+	}
+	es := g.adj[u]
+	i := sort.Search(len(es), func(i int) bool { return es[i].To >= to })
+	if i < len(es) && es[i].To == to {
+		return i
+	}
+	return -1
+}
+
+// NeighborAt returns the edge behind port p of node u.
+func (g *Graph) NeighborAt(u NodeID, p int) Edge {
+	return g.adj[u][p]
+}
+
+// EdgeWeight returns the weight of the edge between u and v, or -1 if the
+// nodes are not adjacent.
+func (g *Graph) EdgeWeight(u, v NodeID) float64 {
+	p := g.PortOf(u, v)
+	if p < 0 {
+		return -1
+	}
+	return g.adj[u][p].Weight
+}
+
+// EdgeID returns the undirected edge index between u and v, or -1 if the
+// nodes are not adjacent.
+func (g *Graph) EdgeID(u, v NodeID) int32 {
+	p := g.PortOf(u, v)
+	if p < 0 {
+		return -1
+	}
+	return g.adj[u][p].EID
+}
+
+// PathLength returns the total weight of the node path (consecutive nodes
+// must be adjacent; it panics otherwise, since a broken path is always a
+// protocol bug in this codebase).
+func (g *Graph) PathLength(path []NodeID) float64 {
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		w := g.EdgeWeight(path[i-1], path[i])
+		if w < 0 {
+			panic(fmt.Sprintf("graph: path step %d: nodes %d,%d not adjacent", i, path[i-1], path[i]))
+		}
+		total += w
+	}
+	return total
+}
+
+// Components returns the connected component label of every node and the
+// number of components. Labels are 0-based in order of first appearance.
+func (g *Graph) Components() (label []int32, count int) {
+	label = make([]int32, g.N())
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []NodeID
+	for s := 0; s < g.N(); s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		c := int32(count)
+		count++
+		label[s] = c
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.adj[u] {
+				if label[e.To] < 0 {
+					label[e.To] = c
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	return label, count
+}
+
+// Connected reports whether the graph has exactly one connected component
+// (the paper assumes a connected network, §4.1).
+func (g *Graph) Connected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	_, c := g.Components()
+	return c == 1
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	t := 0.0
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if e.To > NodeID(u) {
+				t += e.Weight
+			}
+		}
+	}
+	return t
+}
+
+// AvgDegree returns the average node degree 2M/N.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.N())
+}
+
+// MaxDegree returns the maximum node degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, es := range g.adj {
+		if len(es) > max {
+			max = len(es)
+		}
+	}
+	return max
+}

@@ -1,0 +1,242 @@
+package graph
+
+import "math"
+
+// Inf is the distance reported for unreached nodes.
+var Inf = math.Inf(1)
+
+// heapItem is a lazy-deletion priority queue entry: stale entries (node
+// already settled) are skipped on pop. Ties are broken by node ID so every
+// run is deterministic regardless of insertion order.
+type heapItem struct {
+	dist float64
+	node NodeID
+}
+
+type minHeap []heapItem
+
+func (h minHeap) less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+
+func (h *minHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(*h).less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && (*h).less(l, s) {
+			s = l
+		}
+		if r < n && (*h).less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		(*h)[i], (*h)[s] = (*h)[s], (*h)[i]
+		i = s
+	}
+	return top
+}
+
+// SSSP is a reusable single-source shortest-path scratch space over a fixed
+// graph. Reuse across calls avoids reallocating O(n) arrays for the many
+// thousands of (truncated) Dijkstra runs the static simulator performs.
+// An SSSP is not safe for concurrent use; create one per goroutine.
+type SSSP struct {
+	g       *Graph
+	dist    []float64
+	parent  []NodeID
+	nearest []NodeID // multi-source: which source settled this node
+	stamp   []uint32
+	settled []uint32 // stamp marking fully settled nodes
+	epoch   uint32
+	heap    minHeap
+	order   []NodeID // settle order of the last run
+}
+
+// NewSSSP returns a shortest-path scratch bound to g. The graph must be
+// Finalized and must not gain edges while the SSSP is in use.
+func NewSSSP(g *Graph) *SSSP {
+	if !g.Finalized() {
+		g.Finalize()
+	}
+	n := g.N()
+	return &SSSP{
+		g:       g,
+		dist:    make([]float64, n),
+		parent:  make([]NodeID, n),
+		nearest: make([]NodeID, n),
+		stamp:   make([]uint32, n),
+		settled: make([]uint32, n),
+	}
+}
+
+// Graph returns the graph this scratch is bound to.
+func (s *SSSP) Graph() *Graph { return s.g }
+
+func (s *SSSP) begin() {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: clear stamps and restart
+		for i := range s.stamp {
+			s.stamp[i] = 0
+			s.settled[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.heap = s.heap[:0]
+	s.order = s.order[:0]
+}
+
+func (s *SSSP) relax(v NodeID, d float64, via NodeID, src NodeID) {
+	if s.stamp[v] == s.epoch {
+		if s.settled[v] == s.epoch || d >= s.dist[v] {
+			if d == s.dist[v] && s.settled[v] != s.epoch && src < s.nearest[v] {
+				// Deterministic multi-source tie-break: lowest source wins.
+				s.nearest[v] = src
+				s.parent[v] = via
+			}
+			return
+		}
+	}
+	s.stamp[v] = s.epoch
+	s.dist[v] = d
+	s.parent[v] = via
+	s.nearest[v] = src
+	s.heap.push(heapItem{dist: d, node: v})
+}
+
+// run executes Dijkstra from the given sources, stopping when `limit` nodes
+// have been settled (limit < 0 means no limit) or when the next settle
+// distance would be >= radius (radius < 0 means no radius bound; strict:
+// nodes at exactly radius are NOT settled).
+func (s *SSSP) run(sources []NodeID, limit int, radius float64) {
+	s.begin()
+	for _, src := range sources {
+		s.relax(src, 0, None, src)
+	}
+	for len(s.heap) > 0 {
+		if limit >= 0 && len(s.order) >= limit {
+			return
+		}
+		it := s.heap.pop()
+		v := it.node
+		if s.settled[v] == s.epoch || it.dist != s.dist[v] {
+			continue // stale entry
+		}
+		if radius >= 0 && it.dist >= radius {
+			return
+		}
+		s.settled[v] = s.epoch
+		s.order = append(s.order, v)
+		for _, e := range s.g.adj[v] {
+			s.relax(e.To, it.dist+e.Weight, v, s.nearest[v])
+		}
+	}
+}
+
+// Run computes shortest paths from src to every reachable node.
+func (s *SSSP) Run(src NodeID) { s.run([]NodeID{src}, -1, -1) }
+
+// RunK computes shortest paths from src until k nodes (including src) are
+// settled. The settle order (Order) then lists the k nodes closest to src in
+// (distance, node ID) order — the paper's vicinity V(src) for k =
+// Θ(sqrt(n log n)) (§4.2).
+func (s *SSSP) RunK(src NodeID, k int) { s.run([]NodeID{src}, k, -1) }
+
+// RunRadius computes shortest paths from src settling exactly the nodes at
+// distance strictly less than radius. S4's cluster computation uses this:
+// node w contributes itself to the cluster of every v with d(w,v) <
+// d(w, l_w) (§4.2 "Comparison with S4").
+func (s *SSSP) RunRadius(src NodeID, radius float64) { s.run([]NodeID{src}, -1, radius) }
+
+// RunMulti computes a multi-source shortest-path forest: for every node, the
+// distance and tree path to its nearest source (ties to the lowest source
+// ID). This yields d(v, l_v) and the landmark trees in one pass.
+func (s *SSSP) RunMulti(sources []NodeID) { s.run(sources, -1, -1) }
+
+// Settled reports whether v was settled by the last run.
+func (s *SSSP) Settled(v NodeID) bool { return s.settled[v] == s.epoch }
+
+// Dist returns the shortest-path distance to v from the last run's
+// source(s), or +Inf if v was not settled.
+func (s *SSSP) Dist(v NodeID) float64 {
+	if s.settled[v] != s.epoch {
+		return Inf
+	}
+	return s.dist[v]
+}
+
+// Parent returns the predecessor of v on its shortest path, or None.
+func (s *SSSP) Parent(v NodeID) NodeID {
+	if s.settled[v] != s.epoch {
+		return None
+	}
+	return s.parent[v]
+}
+
+// Source returns the source that settled v in a multi-source run (the
+// nearest landmark, in the protocol's terms), or None if unsettled.
+func (s *SSSP) Source(v NodeID) NodeID {
+	if s.settled[v] != s.epoch {
+		return None
+	}
+	return s.nearest[v]
+}
+
+// Order returns the settle order of the last run. The slice is reused by the
+// next run; copy it if it must survive.
+func (s *SSSP) Order() []NodeID { return s.order }
+
+// PathTo returns the node path source⇝v from the last run (inclusive of
+// both endpoints), or nil if v was not settled.
+func (s *SSSP) PathTo(v NodeID) []NodeID {
+	if s.settled[v] != s.epoch {
+		return nil
+	}
+	var rev []NodeID
+	for u := v; u != None; u = s.parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// FirstHopTo returns the first hop on the shortest path from the (single)
+// source of the last run toward v, or None if v is the source or unsettled.
+func (s *SSSP) FirstHopTo(v NodeID) NodeID {
+	if s.settled[v] != s.epoch || s.parent[v] == None {
+		return None
+	}
+	u := v
+	for s.parent[u] != None && s.parent[s.parent[u]] != None {
+		u = s.parent[u]
+	}
+	if s.parent[u] == None {
+		return None
+	}
+	return u
+}

@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 5, 4})
+	if c.N() != 5 {
+		t.Fatalf("N=%d", c.N())
+	}
+	if c.Mean() != 3 {
+		t.Errorf("mean %v want 3", c.Mean())
+	}
+	if c.Min() != 1 || c.Max() != 5 {
+		t.Errorf("min/max %v/%v", c.Min(), c.Max())
+	}
+	if q := c.Quantile(0.5); q != 3 {
+		t.Errorf("median %v want 3", q)
+	}
+	if q := c.Quantile(1); q != 5 {
+		t.Errorf("q100 %v want 5", q)
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Errorf("q0 %v want 1", q)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Mean() != 0 || c.Max() != 0 || c.Quantile(0.5) != 0 || c.N() != 0 {
+		t.Error("empty CDF should report zeros")
+	}
+	if c.Points(5) != nil {
+		t.Error("empty Points should be nil")
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{2, 1}
+	c := NewCDF(in)
+	in[0] = 99
+	if c.Max() != 2 {
+		t.Error("CDF must copy its input")
+	}
+}
+
+func TestFracAtOrBelow(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, cs := range cases {
+		if got := c.FracAtOrBelow(cs.x); got != cs.want {
+			t.Errorf("FracAtOrBelow(%v)=%v want %v", cs.x, got, cs.want)
+		}
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewCDF(vals)
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return c.Quantile(pa) <= c.Quantile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	pts := c.Points(2)
+	if len(pts) != 2 {
+		t.Fatalf("points %d want 2", len(pts))
+	}
+	if pts[0].X != 2 || pts[0].F != 0.5 {
+		t.Errorf("pts[0]=%+v", pts[0])
+	}
+	if pts[1].X != 4 || pts[1].F != 1 {
+		t.Errorf("pts[1]=%+v", pts[1])
+	}
+}
+
+func TestSampleIntsDistinctInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := SampleInts(rng, 1000, 100)
+	if len(s) != 100 {
+		t.Fatalf("len %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 1000 {
+			t.Fatalf("out of range %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleIntsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := SampleInts(rng, 10, 15)
+	if len(s) != 10 {
+		t.Fatalf("len %d want 10 when k>=n", len(s))
+	}
+	sort.Ints(s)
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("expected permutation of 0..9, got %v", s)
+		}
+	}
+}
+
+func TestSampleIntsUniformish(t *testing.T) {
+	// Each element of [0,20) should appear roughly 1/2 the time when
+	// sampling 10 of 20 many times.
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 20)
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		for _, v := range SampleInts(rng, 20, 10) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.35 || frac > 0.65 {
+			t.Errorf("element %d sampled with frequency %v (want ~0.5)", v, frac)
+		}
+	}
+}
+
+func TestSamplePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := SamplePairs(rng, 50, 200)
+	if len(ps) != 200 {
+		t.Fatalf("len %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.Src == p.Dst {
+			t.Fatal("pair endpoints must differ")
+		}
+		if p.Src < 0 || p.Src >= 50 || p.Dst < 0 || p.Dst >= 50 {
+			t.Fatal("pair out of range")
+		}
+	}
+}
+
+func TestStretch(t *testing.T) {
+	if s := Stretch(6, 2); s != 3 {
+		t.Errorf("stretch %v want 3", s)
+	}
+	if s := Stretch(2, 2); s != 1 {
+		t.Errorf("stretch %v want 1", s)
+	}
+	if s := Stretch(0, 0); s != 1 {
+		t.Errorf("stretch %v want 1", s)
+	}
+	if s := Stretch(1, 0); !math.IsInf(s, 1) {
+		t.Errorf("stretch %v want +Inf", s)
+	}
+	// Tiny float noise below 1 is clamped.
+	if s := Stretch(2-1e-12, 2); s != 1 {
+		t.Errorf("stretch %v want 1", s)
+	}
+}
+
+func TestStretchPanicsOnShorterThanShortest(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Stretch(1, 2)
+}
+
+func TestCongestion(t *testing.T) {
+	c := NewCongestion(4)
+	c.AddEdgeUse(0)
+	c.AddEdgeUse(0)
+	c.AddEdgeUse(3)
+	cdf := c.CDF()
+	if cdf.N() != 4 {
+		t.Fatalf("N=%d", cdf.N())
+	}
+	if cdf.Max() != 2 {
+		t.Errorf("max %v want 2", cdf.Max())
+	}
+	if got := c.Counts()[0]; got != 2 {
+		t.Errorf("counts[0]=%d", got)
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	out := FormatSeries("title", []string{"a"}, []*CDF{NewCDF([]float64{1, 2})})
+	if out == "" || len(out) < 10 {
+		t.Error("FormatSeries should produce a table")
+	}
+}

@@ -1,0 +1,98 @@
+// Package pathtree provides cached full shortest-path trees. Every
+// protocol's evaluation needs the same two primitives — the true distance
+// d(s,t) as the stretch denominator, and materialized shortest paths to
+// landmarks / resolution owners — and trees are O(n) memory each, so a
+// shared capped cache keeps large-topology evaluations affordable.
+package pathtree
+
+import "disco/internal/graph"
+
+// Tree is a full single-source shortest-path tree.
+type Tree struct {
+	Root   graph.NodeID
+	dist   []float64
+	parent []graph.NodeID
+}
+
+// Dist returns d(Root, v) (+Inf if unreachable).
+func (t *Tree) Dist(v graph.NodeID) float64 { return t.dist[v] }
+
+// Parent returns v's predecessor on the path Root ⇝ v, or graph.None.
+func (t *Tree) Parent(v graph.NodeID) graph.NodeID { return t.parent[v] }
+
+// PathTo returns Root ⇝ v (both endpoints included).
+func (t *Tree) PathTo(v graph.NodeID) []graph.NodeID {
+	var rev []graph.NodeID
+	for u := v; u != graph.None; u = t.parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathFrom returns v ⇝ Root — the same tree path walked the other way,
+// valid because graphs here are undirected (the paper's §6 route
+// reversibility assumption).
+func (t *Tree) PathFrom(v graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for u := v; u != graph.None; u = t.parent[u] {
+		out = append(out, u)
+	}
+	return out
+}
+
+// Cache memoizes trees by root with FIFO eviction.
+type Cache struct {
+	g     *graph.Graph
+	s     *graph.SSSP
+	cap   int
+	trees map[graph.NodeID]*Tree
+	order []graph.NodeID
+}
+
+// NewCache returns a cache over g holding at most capacity trees.
+func NewCache(g *graph.Graph, capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		g:     g,
+		s:     graph.NewSSSP(g),
+		cap:   capacity,
+		trees: make(map[graph.NodeID]*Tree),
+	}
+}
+
+// Tree returns the shortest-path tree rooted at root, computing it on a
+// miss (one full Dijkstra).
+func (c *Cache) Tree(root graph.NodeID) *Tree {
+	if t, ok := c.trees[root]; ok {
+		return t
+	}
+	c.s.Run(root)
+	n := c.g.N()
+	t := &Tree{Root: root, dist: make([]float64, n), parent: make([]graph.NodeID, n)}
+	for v := 0; v < n; v++ {
+		t.dist[v] = c.s.Dist(graph.NodeID(v))
+		t.parent[v] = c.s.Parent(graph.NodeID(v))
+	}
+	if len(c.order) >= c.cap {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.trees, evict)
+	}
+	c.trees[root] = t
+	c.order = append(c.order, root)
+	return t
+}
+
+// Cap returns the cache capacity.
+func (c *Cache) Cap() int { return c.cap }
+
+// Reset drops all cached trees.
+func (c *Cache) Reset() {
+	c.trees = make(map[graph.NodeID]*Tree)
+	c.order = nil
+}

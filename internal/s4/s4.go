@@ -1,0 +1,182 @@
+// Package s4 implements the S4 baseline [34] (§3, §4.2 "Comparison with
+// S4", §5): a distributed adaptation of Thorup–Zwick's Sec. 3 scheme [44]
+// with uniform-random landmarks. Unlike NDDisco's fixed-size vicinities, S4
+// nodes store their *cluster* C(v) = {w : d(v,w) < d(w, l_w)} — all nodes
+// strictly closer to v than to their own landmark — which has no per-node
+// bound: on hub-centered topologies clusters explode to Θ(n) (the paper's
+// footnote-6 tree and the Internet maps in Fig. 2). S4 is name-dependent;
+// it resolves names through a consistent-hashing database on the landmarks,
+// which is why its first packets can have unbounded stretch (Fig. 3).
+package s4
+
+import (
+	"disco/internal/graph"
+	"disco/internal/pathtree"
+	"disco/internal/resolve"
+	"disco/internal/static"
+)
+
+// S4 is the converged S4 data plane over a shared environment (same
+// landmark set and names as Disco, making comparisons direct).
+type S4 struct {
+	Env   *static.Env
+	DB    *resolve.DB
+	trees *pathtree.Cache
+}
+
+// New builds the S4 instance. vnodes is the number of hash functions in the
+// resolution database (1 matches [34]).
+func New(env *static.Env, vnodes int) *S4 {
+	return &S4{
+		Env:   env,
+		DB:    resolve.New(env.Landmarks, env.NameOf, vnodes),
+		trees: pathtree.NewCache(env.G, 128),
+	}
+}
+
+// InCluster reports whether t is in v's cluster: d(v,t) < d(t, l_t).
+// Landmarks know shortest paths to everything through the landmark flood,
+// so for a landmark v this is treated as true by the routing logic
+// separately; the cluster itself uses the strict Thorup–Zwick definition.
+func (s *S4) InCluster(v, t graph.NodeID) bool {
+	if v == t {
+		return true
+	}
+	return s.trees.Tree(t).Dist(v) < s.Env.LMDist[t]
+}
+
+// ShortestDist returns d(s,t) for stretch computation.
+func (s *S4) ShortestDist(a, b graph.NodeID) float64 { return s.trees.Tree(b).Dist(a) }
+
+// RouteLen returns the weighted length of a node path.
+func (s *S4) RouteLen(p []graph.NodeID) float64 { return s.Env.G.PathLength(p) }
+
+// LaterRoute returns the packet route once the source knows t's label
+// (l_t plus the first hop out of l_t): direct if t ∈ C(s) or t is a
+// landmark, else toward l_t with To-Destination shortcutting — the packet
+// peels off to a direct path at the first node whose cluster contains t,
+// which provably happens at latest one hop past l_t. Worst-case stretch 3.
+func (s *S4) LaterRoute(src, t graph.NodeID) []graph.NodeID {
+	if direct := s.directRoute(src, t); direct != nil {
+		return direct
+	}
+	return s.walkToDest(s.trees.Tree(s.Env.AddrOf(t).Landmark).PathFrom(src), t)
+}
+
+// FirstRoute returns the first packet's route: S4 must first resolve t's
+// name through the consistent-hashing database on the landmarks, so the
+// packet travels s ⇝ owner(h(t)) ⇝ (l_t ⇝) t. The resolution detour is why
+// S4's first-packet stretch is unbounded (Fig. 3).
+func (s *S4) FirstRoute(src, t graph.NodeID) []graph.NodeID {
+	if direct := s.directRoute(src, t); direct != nil {
+		return direct
+	}
+	owner := s.DB.OwnerOf(s.Env.HashOf(t))
+	toOwner := s.trees.Tree(owner).PathFrom(src)
+	rest := s.LaterRoute(owner, t)
+	return joinTrim(toOwner, rest)
+}
+
+func (s *S4) directRoute(src, t graph.NodeID) []graph.NodeID {
+	if src == t {
+		return []graph.NodeID{src}
+	}
+	if s.Env.IsLM[src] || s.Env.IsLM[t] || s.InCluster(src, t) {
+		// Landmarks reach everyone via the landmark flood's reverse tree;
+		// every node reaches landmarks and its cluster directly.
+		return s.trees.Tree(t).PathFrom(src)
+	}
+	return nil
+}
+
+// walkToDest walks the packet along route, diverting to the shortest path
+// at the first node whose cluster contains t (To-Destination, S4's
+// built-in shortcut).
+func (s *S4) walkToDest(route []graph.NodeID, t graph.NodeID) []graph.NodeID {
+	tt := s.trees.Tree(t)
+	for i, u := range route {
+		if u == t {
+			return append([]graph.NodeID(nil), route[:i+1]...)
+		}
+		if s.InCluster(u, t) || s.Env.IsLM[u] {
+			direct := tt.PathFrom(u) // u ⇝ t
+			return append(append([]graph.NodeID(nil), route[:i]...), direct...)
+		}
+	}
+	// Reached l_t without diverting: follow the label's first hop; the
+	// next node's cluster must contain t (d(u1,t) < d(t,l_t)).
+	last := route[len(route)-1]
+	direct := tt.PathFrom(last)
+	return append(append([]graph.NodeID(nil), route[:len(route)-1]...), direct...)
+}
+
+func joinTrim(p1, p2 []graph.NodeID) []graph.NodeID {
+	out := append([]graph.NodeID(nil), p1...)
+	for _, v := range p2[1:] {
+		if len(out) >= 2 && out[len(out)-2] == v {
+			out = out[:len(out)-1]
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ClusterSize returns |C(v)| exactly (one full Dijkstra from v): the count
+// of nodes strictly closer to v than to their own landmark. Used for
+// sampled state on large topologies.
+func (s *S4) ClusterSize(v graph.NodeID) int {
+	tv := s.trees.Tree(v)
+	count := 0
+	for w := 0; w < s.Env.N(); w++ {
+		if graph.NodeID(w) == v {
+			continue
+		}
+		if tv.Dist(graph.NodeID(w)) < s.Env.LMDist[w] {
+			count++
+		}
+	}
+	return count
+}
+
+// ClusterSizesAll returns |C(v)| for every node using the dual formulation:
+// each node w settles its ball {v : d(w,v) < d(w, l_w)} with a
+// radius-bounded Dijkstra and contributes to those clusters. Total work is
+// proportional to total cluster state (what S4 actually stores).
+func (s *S4) ClusterSizesAll() []int {
+	n := s.Env.N()
+	out := make([]int, n)
+	ss := graph.NewSSSP(s.Env.G)
+	for w := 0; w < n; w++ {
+		ss.RunRadius(graph.NodeID(w), s.Env.LMDist[w])
+		for _, v := range ss.Order() {
+			if v != graph.NodeID(w) {
+				out[v]++
+			}
+		}
+	}
+	return out
+}
+
+// StateEntries returns per-node S4 state entry counts, mirroring the §5.2
+// accounting used for Disco: landmark routes + cluster routes + forwarding
+// labels + resolution share. clusterSizes comes from ClusterSizesAll (or a
+// sampled equivalent).
+func (s *S4) StateEntries(clusterSizes []int) []int {
+	n := s.Env.N()
+	nLM := len(s.Env.Landmarks)
+	keys := s.Env.Hashes
+	resLoad := make([]int, n)
+	for lm, c := range s.DB.Load(keys) {
+		resLoad[lm] = c
+	}
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		labels := s.Env.G.Degree(graph.NodeID(v))
+		if m := nLM + clusterSizes[v]; labels > m {
+			labels = m
+		}
+		out[v] = nLM + clusterSizes[v] + labels + resLoad[v]
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package s4
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"disco/internal/graph"
+	"disco/internal/metrics"
+	"disco/internal/static"
+	"disco/internal/topology"
+	"disco/internal/vicinity"
+)
+
+const eps = 1e-9
+
+func routeOK(t *testing.T, g *graph.Graph, route []graph.NodeID, s, dst graph.NodeID) float64 {
+	t.Helper()
+	if len(route) == 0 || route[0] != s || route[len(route)-1] != dst {
+		t.Fatalf("route endpoints wrong: %v (want %d..%d)", route, s, dst)
+	}
+	return g.PathLength(route)
+}
+
+func TestS4LaterStretch3(t *testing.T) {
+	g := topology.Gnm(rand.New(rand.NewSource(1)), 400, 1600)
+	env := static.NewEnv(g, 1)
+	s := New(env, 1)
+	pairs := metrics.SamplePairs(rand.New(rand.NewSource(2)), 400, 300)
+	for _, p := range pairs {
+		src, dst := graph.NodeID(p.Src), graph.NodeID(p.Dst)
+		short := s.ShortestDist(src, dst)
+		later := routeOK(t, g, s.LaterRoute(src, dst), src, dst)
+		if later > 3*short+eps {
+			t.Fatalf("S4 later stretch %v > 3 (%d->%d)", later/short, src, dst)
+		}
+	}
+}
+
+func TestS4LaterStretch3Weighted(t *testing.T) {
+	g := topology.Geometric(rand.New(rand.NewSource(3)), 500, 8)
+	env := static.NewEnv(g, 3)
+	s := New(env, 1)
+	pairs := metrics.SamplePairs(rand.New(rand.NewSource(4)), 500, 300)
+	for _, p := range pairs {
+		src, dst := graph.NodeID(p.Src), graph.NodeID(p.Dst)
+		short := s.ShortestDist(src, dst)
+		later := routeOK(t, g, s.LaterRoute(src, dst), src, dst)
+		if later > 3*short+eps {
+			t.Fatalf("S4 later stretch %v > 3 on weighted graph", later/short)
+		}
+	}
+}
+
+func TestS4FirstUnboundedVsLater(t *testing.T) {
+	// First packets detour through the resolution landmark; their mean
+	// stretch must exceed later packets' on a latency-weighted graph, and
+	// individual first packets can blow well past stretch 3 (Fig. 3).
+	g := topology.Geometric(rand.New(rand.NewSource(5)), 800, 8)
+	env := static.NewEnv(g, 5)
+	s := New(env, 1)
+	pairs := metrics.SamplePairs(rand.New(rand.NewSource(6)), 800, 400)
+	sumF, sumL, maxF := 0.0, 0.0, 0.0
+	n := 0
+	for _, p := range pairs {
+		src, dst := graph.NodeID(p.Src), graph.NodeID(p.Dst)
+		short := s.ShortestDist(src, dst)
+		if short == 0 {
+			continue
+		}
+		f := routeOK(t, g, s.FirstRoute(src, dst), src, dst) / short
+		l := routeOK(t, g, s.LaterRoute(src, dst), src, dst) / short
+		sumF += f
+		sumL += l
+		if f > maxF {
+			maxF = f
+		}
+		n++
+	}
+	if sumF/float64(n) <= sumL/float64(n) {
+		t.Errorf("S4 first-packet mean stretch (%v) should exceed later (%v)",
+			sumF/float64(n), sumL/float64(n))
+	}
+	if maxF <= 3 {
+		t.Errorf("expected some S4 first packets above stretch 3, max %v", maxF)
+	}
+}
+
+func TestClusterSizeConsistency(t *testing.T) {
+	g := topology.Gnm(rand.New(rand.NewSource(7)), 300, 1200)
+	env := static.NewEnv(g, 7)
+	s := New(env, 1)
+	all := s.ClusterSizesAll()
+	for v := 0; v < 300; v += 17 {
+		if got := s.ClusterSize(graph.NodeID(v)); got != all[v] {
+			t.Fatalf("ClusterSize(%d)=%d but ClusterSizesAll says %d", v, got, all[v])
+		}
+	}
+}
+
+func TestClusterDefinition(t *testing.T) {
+	// Distances are compared destination-rooted (d computed by Dijkstra
+	// from w), matching the protocol's own accounting — float sums depend
+	// on association order, so the reference must use the same direction.
+	g := topology.Geometric(rand.New(rand.NewSource(8)), 200, 8)
+	env := static.NewEnv(g, 8)
+	s := New(env, 1)
+	ss := graph.NewSSSP(g)
+	for w := 0; w < 200; w += 13 {
+		ss.Run(graph.NodeID(w))
+		for v := 0; v < 200; v++ {
+			if v == w {
+				continue
+			}
+			want := ss.Dist(graph.NodeID(v)) < env.LMDist[w]
+			if got := s.InCluster(graph.NodeID(v), graph.NodeID(w)); got != want {
+				t.Fatalf("InCluster(%d,%d)=%v want %v", v, w, got, want)
+			}
+		}
+	}
+}
+
+func TestS4WorstCaseTreeState(t *testing.T) {
+	// The paper's footnote 6: on the two-level tree, S4's root cluster is
+	// Θ(n) while Disco's per-node state stays Θ(sqrt(n log n)).
+	k := 32 // n = 1 + 32 + 1024 = 1057
+	g := topology.S4WorstTree(k)
+	n := g.N()
+	env := static.NewEnv(g, 9)
+	s := New(env, 1)
+	sizes := s.ClusterSizesAll()
+	root := sizes[0]
+	if root < n/3 {
+		t.Errorf("expected Θ(n) cluster at root, got %d of %d", root, n)
+	}
+	// Disco bound on the same topology (vicinities are capped at K).
+	kVic := vicinity.DefaultK(n)
+	if float64(root) < 2*float64(kVic) {
+		t.Errorf("root cluster %d should dwarf Disco's vicinity %d", root, kVic)
+	}
+}
+
+func TestS4StateEntries(t *testing.T) {
+	g := topology.Gnm(rand.New(rand.NewSource(10)), 256, 1024)
+	env := static.NewEnv(g, 10)
+	s := New(env, 1)
+	sizes := s.ClusterSizesAll()
+	entries := s.StateEntries(sizes)
+	nLM := len(env.Landmarks)
+	totalRes := 0
+	for v := 0; v < 256; v++ {
+		if entries[v] < nLM+sizes[v] {
+			t.Fatalf("state at %d below landmarks+cluster", v)
+		}
+		if !env.IsLM[v] {
+			// Non-landmarks hold no resolution entries: state is exactly
+			// landmarks + cluster + labels.
+			labels := g.Degree(graph.NodeID(v))
+			if m := nLM + sizes[v]; labels > m {
+				labels = m
+			}
+			if entries[v] != nLM+sizes[v]+labels {
+				t.Fatalf("state accounting wrong at %d", v)
+			}
+		}
+	}
+	for _, lm := range env.Landmarks {
+		labels := g.Degree(lm)
+		if m := nLM + sizes[lm]; labels > m {
+			labels = m
+		}
+		totalRes += entries[lm] - nLM - sizes[lm] - labels
+	}
+	if totalRes != 256 {
+		t.Fatalf("resolution entries across landmarks %d want 256", totalRes)
+	}
+}
+
+func TestS4MeanStateBelowDiscoOnRandomGraph(t *testing.T) {
+	// §5.2: "Average state is slightly higher in NDDisco than S4" on
+	// well-behaved topologies — S4 clusters can undercut fixed vicinities.
+	g := topology.Gnm(rand.New(rand.NewSource(11)), 1024, 4096)
+	env := static.NewEnv(g, 11)
+	s := New(env, 1)
+	sizes := s.ClusterSizesAll()
+	mean := 0.0
+	for _, c := range sizes {
+		mean += float64(c)
+	}
+	mean /= float64(len(sizes))
+	k := float64(vicinity.DefaultK(1024))
+	if mean > 3*k {
+		t.Errorf("mean cluster size %v should be comparable to vicinity size %v on a random graph", mean, k)
+	}
+	if math.IsNaN(mean) {
+		t.Fatal("NaN")
+	}
+}

@@ -1,0 +1,83 @@
+// Package sim is the discrete event engine behind the paper's "custom
+// discrete event simulator" (§5.1): a deterministic time-ordered event
+// queue over which the distributed protocols (path vector in
+// internal/pathvector, overlay dissemination) run to measure control
+// messaging until convergence (Fig. 8). Events at equal times fire in
+// scheduling order (FIFO), so runs are exactly reproducible.
+package sim
+
+import "container/heap"
+
+// Time is simulated time; link latencies are added as delays.
+type Time = float64
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a deterministic discrete event scheduler. The zero value is
+// ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	steps  uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule enqueues fn to run delay time units from now (delay >= 0).
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue drains (protocol quiescence — the
+// convergence criterion for triggered-update protocols) or maxSteps events
+// have fired (0 = no limit). It returns the number of events processed and
+// whether the queue drained.
+func (e *Engine) Run(maxSteps uint64) (steps uint64, quiesced bool) {
+	var done uint64
+	for len(e.events) > 0 {
+		if maxSteps > 0 && done >= maxSteps {
+			return done, false
+		}
+		it := heap.Pop(&e.events).(event)
+		e.now = it.at
+		e.steps++
+		done++
+		it.fn()
+	}
+	return done, true
+}

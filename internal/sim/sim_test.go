@@ -1,0 +1,100 @@
+package sim
+
+import "testing"
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	steps, q := e.Run(0)
+	if steps != 3 || !q {
+		t.Fatalf("steps=%d quiesced=%v", steps, q)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("order %v", got)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now=%v want 3", e.Now())
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events must fire in scheduling order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	var got []string
+	e.Schedule(1, func() {
+		got = append(got, "a")
+		e.Schedule(0, func() { got = append(got, "a0") })
+		e.Schedule(2, func() { got = append(got, "a2") })
+	})
+	e.Schedule(2, func() { got = append(got, "b") })
+	e.Run(0)
+	want := []string{"a", "a0", "b", "a2"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	var e Engine
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		e.Schedule(1, reschedule)
+	}
+	e.Schedule(0, reschedule)
+	steps, q := e.Run(100)
+	if q {
+		t.Fatal("infinite chain should not quiesce")
+	}
+	if steps != 100 || count != 100 {
+		t.Fatalf("steps=%d count=%d", steps, count)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var e Engine
+	e.Schedule(-1, func() {})
+}
+
+func TestPendingAndSteps(t *testing.T) {
+	var e Engine
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	e.Run(0)
+	if e.Pending() != 0 || e.Steps() != 2 {
+		t.Fatalf("pending %d steps %d", e.Pending(), e.Steps())
+	}
+}

@@ -1,0 +1,41 @@
+// Package spr is the shortest-path-routing baseline (the paper's "path
+// vector" comparison protocol, §5.1): every node stores a route to every
+// destination, Ω(n) state, stretch 1. It anchors the congestion comparison
+// (Figs. 4, 5, 10) and the messaging curve of Fig. 8.
+package spr
+
+import (
+	"disco/internal/graph"
+	"disco/internal/pathtree"
+	"disco/internal/static"
+)
+
+// SPR is the converged shortest-path data plane.
+type SPR struct {
+	Env   *static.Env
+	trees *pathtree.Cache
+}
+
+// New builds the baseline over env.
+func New(env *static.Env) *SPR {
+	return &SPR{Env: env, trees: pathtree.NewCache(env.G, 128)}
+}
+
+// Route returns the (deterministically tie-broken) shortest path s ⇝ t.
+func (p *SPR) Route(s, t graph.NodeID) []graph.NodeID {
+	return p.trees.Tree(t).PathFrom(s)
+}
+
+// Dist returns d(s,t).
+func (p *SPR) Dist(s, t graph.NodeID) float64 { return p.trees.Tree(t).Dist(s) }
+
+// StateEntries returns the per-node entry count: one route per destination
+// (n-1) plus per-neighbor adjacency.
+func (p *SPR) StateEntries() []int {
+	n := p.Env.N()
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		out[v] = n - 1 + p.Env.G.Degree(graph.NodeID(v))
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"disco/internal/graph"
+)
+
+func TestGnmProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Gnm(rng, 200, 800)
+	if g.N() != 200 || g.M() != 800 {
+		t.Fatalf("N=%d M=%d want 200,800", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("Gnm must be connected")
+	}
+	if ad := g.AvgDegree(); ad != 8 {
+		t.Errorf("avg degree %v want 8", ad)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(graph.NodeID(u)) {
+			if e.Weight != 1 {
+				t.Fatalf("Gnm weight %v want 1", e.Weight)
+			}
+		}
+	}
+}
+
+func TestGnmDeterministic(t *testing.T) {
+	a := Gnm(rand.New(rand.NewSource(42)), 100, 300)
+	b := Gnm(rand.New(rand.NewSource(42)), 100, 300)
+	if a.M() != b.M() {
+		t.Fatal("same seed must give same graph")
+	}
+	for u := 0; u < a.N(); u++ {
+		na, nb := a.Neighbors(graph.NodeID(u)), b.Neighbors(graph.NodeID(u))
+		if len(na) != len(nb) {
+			t.Fatalf("node %d degree differs", u)
+		}
+		for i := range na {
+			if na[i].To != nb[i].To {
+				t.Fatalf("node %d adjacency differs", u)
+			}
+		}
+	}
+}
+
+func TestGnmNoDuplicateEdges(t *testing.T) {
+	g := Gnm(rand.New(rand.NewSource(3)), 50, 200)
+	for u := 0; u < g.N(); u++ {
+		ns := g.Neighbors(graph.NodeID(u))
+		for i := 1; i < len(ns); i++ {
+			if ns[i].To == ns[i-1].To {
+				t.Fatalf("duplicate edge %d-%d", u, ns[i].To)
+			}
+		}
+	}
+}
+
+func TestGnmAvgDeg(t *testing.T) {
+	g := GnmAvgDeg(rand.New(rand.NewSource(5)), 128, 8)
+	if g.M() != 512 {
+		t.Errorf("M=%d want 512", g.M())
+	}
+}
+
+func TestGnmRejectsBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m < n-1")
+		}
+	}()
+	Gnm(rand.New(rand.NewSource(1)), 10, 5)
+}
+
+func TestGeometricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := Geometric(rng, 500, 8)
+	if g.N() != 500 {
+		t.Fatalf("N=%d want 500", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("geometric graph must be connected after stitching")
+	}
+	// Average degree should be in the ballpark of the target (boundary
+	// effects push it below 8).
+	if ad := g.AvgDegree(); ad < 4 || ad > 10 {
+		t.Errorf("avg degree %v implausible for target 8", ad)
+	}
+	// Euclidean weights: all in (0, sqrt(2)].
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(graph.NodeID(u)) {
+			if e.Weight <= 0 || e.Weight > math.Sqrt2 {
+				t.Fatalf("weight %v out of range", e.Weight)
+			}
+		}
+	}
+}
+
+func TestGeometricTriangleInequalityOnWeights(t *testing.T) {
+	// Shortest-path distances in a metric-weight graph must satisfy the
+	// triangle inequality (sanity for the stretch analysis).
+	g := Geometric(rand.New(rand.NewSource(9)), 120, 8)
+	s := graph.NewSSSP(g)
+	d := make([][]float64, g.N())
+	for u := 0; u < g.N(); u++ {
+		s.Run(graph.NodeID(u))
+		d[u] = make([]float64, g.N())
+		for v := 0; v < g.N(); v++ {
+			d[u][v] = s.Dist(graph.NodeID(v))
+		}
+	}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := rng.Intn(g.N()), rng.Intn(g.N()), rng.Intn(g.N())
+		if d[a][c] > d[a][b]+d[b][c]+1e-9 {
+			t.Fatalf("triangle violated: d(%d,%d)=%v > %v+%v", a, c, d[a][c], d[a][b], d[b][c])
+		}
+	}
+}
+
+func TestASLikeHeavyTail(t *testing.T) {
+	g := ASLike(rand.New(rand.NewSource(4)), 2000)
+	if !g.Connected() {
+		t.Fatal("ASLike must be connected")
+	}
+	if g.MaxDegree() < 20 {
+		t.Errorf("power-law graph should have hubs, max degree %d", g.MaxDegree())
+	}
+	if ad := g.AvgDegree(); ad < 3 || ad > 6 {
+		t.Errorf("AS-like avg degree %v out of expected band", ad)
+	}
+}
+
+func TestRouterLikeStructure(t *testing.T) {
+	g := RouterLike(rand.New(rand.NewSource(4)), 3000)
+	if g.N() != 3000 {
+		t.Fatalf("N=%d want 3000", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("RouterLike must be connected")
+	}
+	deg1 := 0
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(graph.NodeID(u)) == 1 {
+			deg1++
+		}
+	}
+	if deg1 < g.N()/20 {
+		t.Errorf("router-like graph should have a stub fringe, got %d degree-1 nodes", deg1)
+	}
+}
+
+func TestRingLineStarGrid(t *testing.T) {
+	r := Ring(10)
+	if r.M() != 10 || !r.Connected() {
+		t.Error("ring wrong")
+	}
+	l := Line(10)
+	if l.M() != 9 || !l.Connected() {
+		t.Error("line wrong")
+	}
+	s := Star(10)
+	if s.M() != 9 || s.Degree(0) != 9 {
+		t.Error("star wrong")
+	}
+	g := Grid(4, 5)
+	if g.N() != 20 || g.M() != 4*4+3*5 || !g.Connected() {
+		t.Errorf("grid wrong: N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestS4WorstTreeShape(t *testing.T) {
+	k := 7
+	g := S4WorstTree(k)
+	if g.N() != 1+k+k*k {
+		t.Fatalf("N=%d want %d", g.N(), 1+k+k*k)
+	}
+	if g.Degree(0) != k {
+		t.Errorf("root degree %d want %d", g.Degree(0), k)
+	}
+	// Children have degree k+1; grandchildren degree 1.
+	for c := 1; c <= k; c++ {
+		if g.Degree(graph.NodeID(c)) != k+1 {
+			t.Errorf("child %d degree %d want %d", c, g.Degree(graph.NodeID(c)), k+1)
+		}
+	}
+	for gc := 1 + k; gc < g.N(); gc++ {
+		if g.Degree(graph.NodeID(gc)) != 1 {
+			t.Errorf("grandchild %d degree %d want 1", gc, g.Degree(graph.NodeID(gc)))
+		}
+	}
+	// Distances per footnote 6: child at 1, grandchild at 3 from root.
+	s := graph.NewSSSP(g)
+	s.Run(0)
+	if s.Dist(1) != 1 || s.Dist(graph.NodeID(1+k)) != 3 {
+		t.Errorf("distances wrong: child=%v grandchild=%v", s.Dist(1), s.Dist(graph.NodeID(1+k)))
+	}
+	// Grandchild-to-grandchild (same parent) distance is 4.
+	if k >= 2 {
+		s.Run(graph.NodeID(1 + k))
+		if s.Dist(graph.NodeID(2+k)) != 4 {
+			t.Errorf("sibling grandchild distance %v want 4", s.Dist(graph.NodeID(2+k)))
+		}
+	}
+}

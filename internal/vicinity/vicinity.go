@@ -1,0 +1,186 @@
+// Package vicinity computes vicinities (§4.2): V(v) is the set of the
+// Θ(sqrt(n log n)) nodes closest to v, learned in the real protocol through
+// path vector with the "accept only landmarks or the k closest advertised
+// nodes" rule, and computed here directly with truncated Dijkstra for the
+// static simulator. Unlike S4's clusters, vicinity size is fixed, which is
+// what enforces Disco's per-node state bound on every topology.
+package vicinity
+
+import (
+	"math"
+	"sort"
+
+	"disco/internal/graph"
+)
+
+// DefaultK returns the vicinity size used throughout the evaluation:
+// ceil(sqrt(n*log2(n))), the paper's Θ(sqrt(n log n)) with constant 1.
+func DefaultK(n int) int {
+	if n <= 1 {
+		return n
+	}
+	k := int(math.Ceil(math.Sqrt(float64(n) * math.Log2(float64(n)))))
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Entry is one vicinity member as seen from the vicinity's owner: the
+// member, its shortest-path distance from the owner, and its parent on the
+// owner-rooted shortest-path tree (None for the owner itself). Parents are
+// always vicinity members themselves, so paths can be reconstructed
+// entirely within the Set.
+type Entry struct {
+	Node   graph.NodeID
+	Parent graph.NodeID
+	Dist   float64
+}
+
+// Set is the vicinity of one node. Entries are sorted by member node ID for
+// binary search; the owner itself is included with distance 0.
+type Set struct {
+	Src     graph.NodeID
+	Entries []Entry
+	radius  float64
+}
+
+// Find returns the entry for w and whether w is in the vicinity.
+func (s *Set) Find(w graph.NodeID) (Entry, bool) {
+	i := sort.Search(len(s.Entries), func(i int) bool { return s.Entries[i].Node >= w })
+	if i < len(s.Entries) && s.Entries[i].Node == w {
+		return s.Entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Contains reports whether w ∈ V(src).
+func (s *Set) Contains(w graph.NodeID) bool {
+	_, ok := s.Find(w)
+	return ok
+}
+
+// Dist returns the shortest-path distance src⇝w if w is in the vicinity,
+// else +Inf.
+func (s *Set) Dist(w graph.NodeID) float64 {
+	if e, ok := s.Find(w); ok {
+		return e.Dist
+	}
+	return math.Inf(1)
+}
+
+// Radius returns the distance of the farthest vicinity member — the
+// "radius" a node can announce to neighbors to suppress useless
+// advertisements (§4.2 control-state discussion).
+func (s *Set) Radius() float64 { return s.radius }
+
+// Size returns the number of members including the owner.
+func (s *Set) Size() int { return len(s.Entries) }
+
+// PathTo returns the shortest path src⇝w (inclusive) reconstructed from
+// parent pointers, or nil if w is not in the vicinity.
+func (s *Set) PathTo(w graph.NodeID) []graph.NodeID {
+	if _, ok := s.Find(w); !ok {
+		return nil
+	}
+	var rev []graph.NodeID
+	for u := w; u != graph.None; {
+		rev = append(rev, u)
+		e, ok := s.Find(u)
+		if !ok {
+			panic("vicinity: parent chain leaves the set")
+		}
+		u = e.Parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// FirstHopTo returns the first hop from src on the shortest path to w, or
+// None if w == src or w is not in the vicinity.
+func (s *Set) FirstHopTo(w graph.NodeID) graph.NodeID {
+	p := s.PathTo(w)
+	if len(p) < 2 {
+		return graph.None
+	}
+	return p[1]
+}
+
+// Members returns the member IDs in ascending order (fresh slice).
+func (s *Set) Members() []graph.NodeID {
+	out := make([]graph.NodeID, len(s.Entries))
+	for i, e := range s.Entries {
+		out[i] = e.Node
+	}
+	return out
+}
+
+// Table holds vicinities for a subset of (or all) nodes.
+type Table struct {
+	K    int
+	sets map[graph.NodeID]*Set
+}
+
+// Build computes the k-node vicinity of every node in sources (nil means
+// all nodes) by truncated Dijkstra. Ties at the vicinity boundary are
+// broken by node ID, matching the deterministic path-vector acceptance
+// order.
+func Build(g *graph.Graph, k int, sources []graph.NodeID) *Table {
+	if sources == nil {
+		sources = make([]graph.NodeID, g.N())
+		for i := range sources {
+			sources[i] = graph.NodeID(i)
+		}
+	}
+	t := &Table{K: k, sets: make(map[graph.NodeID]*Set, len(sources))}
+	s := graph.NewSSSP(g)
+	for _, src := range sources {
+		t.sets[src] = buildOne(s, src, k)
+	}
+	return t
+}
+
+func buildOne(s *graph.SSSP, src graph.NodeID, k int) *Set {
+	s.RunK(src, k)
+	order := s.Order()
+	entries := make([]Entry, len(order))
+	for i, w := range order {
+		entries[i] = Entry{Node: w, Parent: s.Parent(w), Dist: s.Dist(w)}
+	}
+	return FromEntries(src, entries)
+}
+
+// FromEntries assembles a Set from raw entries (e.g. collected by the
+// event-driven path-vector protocol), sorting them and computing the
+// radius. The entries slice is taken over by the Set.
+func FromEntries(src graph.NodeID, entries []Entry) *Set {
+	set := &Set{Src: src, Entries: entries}
+	for _, e := range entries {
+		if e.Dist > set.radius {
+			set.radius = e.Dist
+		}
+	}
+	sort.Slice(set.Entries, func(i, j int) bool { return set.Entries[i].Node < set.Entries[j].Node })
+	return set
+}
+
+// Of returns the vicinity of v, or nil if it was not built.
+func (t *Table) Of(v graph.NodeID) *Set { return t.sets[v] }
+
+// Sources returns the nodes whose vicinities were built, ascending.
+func (t *Table) Sources() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(t.sets))
+	for v := range t.sets {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BuildOne computes a single vicinity without retaining a table — used for
+// on-demand computation on sampled nodes of very large topologies.
+func BuildOne(g *graph.Graph, src graph.NodeID, k int) *Set {
+	return buildOne(graph.NewSSSP(g), src, k)
+}
