@@ -7,12 +7,20 @@ package disco
 // shapes (who wins, by what factor, where crossovers fall) are the
 // reproduction target; cmd/discosim -full runs paper-scale sizes.
 //
+// The experiments fan out over the internal/parallel worker pool; bound
+// it with -workers (default GOMAXPROCS). Printed results are bit-identical
+// at any worker count, so -workers only moves the ns/op number:
+//
+//	go test -bench Fig3 -workers 8
+//
 // The Benchmark{Dijkstra,Vicinity,...} group at the bottom are ordinary
 // performance microbenchmarks of the substrate.
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"disco/internal/addr"
@@ -21,6 +29,7 @@ import (
 	"disco/internal/graph"
 	"disco/internal/metrics"
 	"disco/internal/overlay"
+	"disco/internal/parallel"
 	"disco/internal/pathvector"
 	"disco/internal/sim"
 	"disco/internal/sloppy"
@@ -30,6 +39,14 @@ import (
 )
 
 const benchSeed = 1
+
+var workersFlag = flag.Int("workers", 0, "worker pool size for the experiment harness (0 = GOMAXPROCS)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	parallel.SetWorkers(*workersFlag)
+	os.Exit(m.Run())
+}
 
 var printed = map[string]bool{}
 

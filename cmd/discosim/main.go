@@ -7,7 +7,12 @@
 //	discosim -exp all                  # everything
 //	discosim -exp fig3 -n 16384        # override the size
 //	discosim -exp fig2 -full           # paper-scale sizes (slow, much memory)
+//	discosim -exp fig3 -workers 8      # bound the worker pool (default GOMAXPROCS)
 //	discosim -list                     # list experiments
+//
+// Experiment output is bit-identical at any -workers value: the harness
+// derives all randomness before fanning out and merges results in task
+// order (see internal/parallel).
 //
 // Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 addrsize
 // accuracy nerror fingers imbalance.
@@ -20,6 +25,7 @@ import (
 	"time"
 
 	"disco/internal/eval"
+	"disco/internal/parallel"
 )
 
 type experiment struct {
@@ -128,8 +134,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	pairs := flag.Int("pairs", 500, "sampled source-destination pairs")
 	full := flag.Bool("full", false, "use paper-scale sizes (up to 192,244 nodes; slow)")
+	workers := flag.Int("workers", 0, "worker pool size for parallel sweeps (0 = GOMAXPROCS); results are identical at any value")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

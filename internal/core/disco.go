@@ -77,6 +77,23 @@ func NewDisco(env *static.Env, opts ...DiscoOption) *Disco {
 // Env returns the shared environment.
 func (d *Disco) Env() *static.Env { return d.ND.Env }
 
+// Fork returns a concurrency view of d for one worker of a parallel
+// sweep: the converged resolution DB, grouping view and overlay are shared
+// read-only, the NDDisco layer is forked (private caches), and the
+// fallback/miss counters start at zero so each worker tallies its own
+// routes. Sum fork counters (order-independent) to recover the serial
+// totals.
+func (d *Disco) Fork() *Disco {
+	return &Disco{
+		ND:       d.ND.Fork(),
+		DB:       d.DB,
+		View:     d.View,
+		Net:      d.Net,
+		K:        d.K,
+		closestW: d.closestW,
+	}
+}
+
 // HasAddress reports whether node holder stores target's current address:
 // the dissemination overlay delivers t's announcements to (at least) the
 // nodes that mutually agree with t on the grouping (§4.4 core-group

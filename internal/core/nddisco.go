@@ -65,6 +65,22 @@ func NewNDDisco(env *static.Env, opts ...NDOption) *NDDisco {
 	return r
 }
 
+// Fork returns a concurrency view of r for one worker of a parallel
+// sweep: it shares the immutable converged environment and parameters but
+// owns private lazy caches and Dijkstra scratch, so forks may route
+// concurrently. Routes are pure functions of the Env, so a fork returns
+// exactly the routes the original would.
+func (r *NDDisco) Fork() *NDDisco {
+	return &NDDisco{
+		Env:    r.Env,
+		K:      r.K,
+		vic:    make(map[graph.NodeID]*vicinity.Set),
+		vicCap: r.vicCap,
+		sssp:   graph.NewSSSP(r.Env.G),
+		trees:  pathtree.NewCache(r.Env.G, r.trees.Cap()),
+	}
+}
+
 // Vicinity returns V(v), computing and caching it on first use.
 func (r *NDDisco) Vicinity(v graph.NodeID) *vicinity.Set {
 	if s, ok := r.vic[v]; ok {

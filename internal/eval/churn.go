@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"disco/internal/graph"
+	"disco/internal/parallel"
 	"disco/internal/pathvector"
 	"disco/internal/sim"
 	"disco/internal/vicinity"
@@ -48,22 +49,29 @@ func ChurnCost(n int, seed int64, trials int) *ChurnResult {
 	cfg := pathvector.Config{Mode: pathvector.ModeVicinity, K: k, IsLandmark: env.IsLM}
 
 	res := &ChurnResult{N: n, Trials: trials}
+	// Draw every trial's failed link serially up front (preserving the
+	// historical draw sequence), then run the independent trials — each
+	// its own event engine and protocol instance over the shared
+	// read-only graph — on the worker pool.
 	rng := rand.New(rand.NewSource(seed + 9000))
-	totalTriggered, totalRefresh := 0.0, 0.0
-	done := 0
-	for done < trials {
+	type failure struct{ u, v graph.NodeID }
+	fails := make([]failure, trials)
+	for i := range fails {
+		u := graph.NodeID(rng.Intn(n))
+		es := g.Neighbors(u)
+		fails[i] = failure{u: u, v: es[rng.Intn(len(es))].To}
+	}
+	type trialResult struct{ initial, triggered, refresh float64 }
+	results := parallel.Map(trials, func(i int) trialResult {
 		var eng sim.Engine
 		p := pathvector.New(g, &eng, cfg)
 		p.Start()
 		if _, q := eng.Run(0); !q {
 			panic("eval: initial convergence failed")
 		}
-		res.Initial = float64(p.Messages) / float64(n)
+		tr := trialResult{initial: float64(p.Messages) / float64(n)}
 
-		u := graph.NodeID(rng.Intn(n))
-		es := g.Neighbors(u)
-		v := es[rng.Intn(len(es))].To
-		p.FailLink(u, v)
+		p.FailLink(fails[i].u, fails[i].v)
 		p.PruneStale()
 		base := p.Messages
 		if _, q := eng.Run(0); !q {
@@ -71,9 +79,15 @@ func ChurnCost(n int, seed int64, trials int) *ChurnResult {
 		}
 		afterWithdraw := p.Messages
 		p.RefreshUntilStable(16)
-		totalTriggered += float64(afterWithdraw-base) / float64(n)
-		totalRefresh += float64(p.Messages-afterWithdraw) / float64(n)
-		done++
+		tr.triggered = float64(afterWithdraw-base) / float64(n)
+		tr.refresh = float64(p.Messages-afterWithdraw) / float64(n)
+		return tr
+	})
+	totalTriggered, totalRefresh := 0.0, 0.0
+	for _, tr := range results {
+		res.Initial = tr.initial
+		totalTriggered += tr.triggered
+		totalRefresh += tr.refresh
 	}
 	res.Triggered = totalTriggered / float64(trials)
 	res.Refresh = totalRefresh / float64(trials)

@@ -7,6 +7,7 @@ import (
 	"disco/internal/core"
 	"disco/internal/graph"
 	"disco/internal/metrics"
+	"disco/internal/parallel"
 )
 
 // CongestionResult holds per-edge usage CDFs (right panels of Figs. 4 and
@@ -44,21 +45,38 @@ func (r *CongestionResult) Get(label string) *metrics.CDF {
 }
 
 // congestionOf routes one flow per node to a uniform random destination
-// and counts per-edge usage (§5.2 Congestion).
-func congestionOf(g *graph.Graph, rng *rand.Rand, route func(s, t graph.NodeID) []graph.NodeID) *metrics.CDF {
-	cong := metrics.NewCongestion(g.M())
+// and counts per-edge usage (§5.2 Congestion). Destinations are drawn
+// serially up front — preserving the historical draw sequence — then the
+// per-source routing fans out over the worker pool: fork yields one
+// worker-private route function, and each worker tallies into its own
+// edge counter, merged (order-independent integer sums) at the end.
+func congestionOf(g *graph.Graph, rng *rand.Rand, fork func() func(s, t graph.NodeID) []graph.NodeID) *metrics.CDF {
 	n := g.N()
+	dests := make([]graph.NodeID, n)
 	for s := 0; s < n; s++ {
-		t := graph.NodeID(rng.Intn(n))
-		if t == graph.NodeID(s) {
-			continue
-		}
-		p := route(graph.NodeID(s), t)
-		for i := 1; i < len(p); i++ {
-			cong.AddEdgeUse(g.EdgeID(p[i-1], p[i]))
-		}
+		dests[s] = graph.NodeID(rng.Intn(n))
 	}
-	return cong.CDF()
+	type tally struct {
+		route func(s, t graph.NodeID) []graph.NodeID
+		cong  *metrics.Congestion
+	}
+	parts := parallel.RunGather(n,
+		func() *tally { return &tally{route: fork(), cong: metrics.NewCongestion(g.M())} },
+		func(w *tally, s int) {
+			t := dests[s]
+			if t == graph.NodeID(s) {
+				return
+			}
+			p := w.route(graph.NodeID(s), t)
+			for i := 1; i < len(p); i++ {
+				w.cong.AddEdgeUse(g.EdgeID(p[i-1], p[i]))
+			}
+		})
+	total := metrics.NewCongestion(g.M())
+	for _, w := range parts {
+		total.Merge(w.cong)
+	}
+	return total.CDF()
 }
 
 // Congestion reproduces the congestion comparison: every node routes to
@@ -70,20 +88,29 @@ func Congestion(p *Protocols, kind TopoKind, seed int64, withVRR bool) *Congesti
 	res := &CongestionResult{Kind: kind, N: g.N(), Edges: g.M()}
 
 	res.Labels = append(res.Labels, "Disco")
-	res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), func(s, t graph.NodeID) []graph.NodeID {
-		return p.Disco.LaterRoute(s, t, core.ShortcutNoPathKnowledge)
+	res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), func() func(s, t graph.NodeID) []graph.NodeID {
+		f := p.Disco.Fork()
+		return func(s, t graph.NodeID) []graph.NodeID {
+			return f.LaterRoute(s, t, core.ShortcutNoPathKnowledge)
+		}
 	}))
 
 	res.Labels = append(res.Labels, "Path-vector")
-	res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), p.SPR.Route))
+	res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), func() func(s, t graph.NodeID) []graph.NodeID {
+		return p.SPR.Fork().Route
+	}))
 
 	res.Labels = append(res.Labels, "S4")
-	res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), p.S4.LaterRoute))
+	res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), func() func(s, t graph.NodeID) []graph.NodeID {
+		return p.S4.Fork().LaterRoute
+	}))
 
 	if withVRR {
 		v := p.VRR(seed)
 		res.Labels = append(res.Labels, "VRR")
-		res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), v.Route))
+		res.CDFs = append(res.CDFs, congestionOf(g, rand.New(rand.NewSource(seed+3000)), func() func(s, t graph.NodeID) []graph.NodeID {
+			return v.Fork().Route
+		}))
 	}
 	return res
 }
@@ -112,6 +139,9 @@ func (r *Fig45Result) Format() string {
 }
 
 // Fig45 reproduces Fig. 4 (kind = TopoGnm) or Fig. 5 (TopoGeometric).
+// The panels run in sequence — each already saturates the worker pool
+// internally, and the O(n^2)-ish VRR baseline is built once (memoized on
+// p) and forked by every panel that routes through it.
 func Fig45(kind TopoKind, n int, seed int64, pairs int) *Fig45Result {
 	p := BuildProtocols(kind, n, seed)
 	st := StateWithVRR(p, seed)

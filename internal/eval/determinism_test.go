@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"testing"
+
+	"disco/internal/parallel"
+)
+
+// atWorkers runs fn with the process-wide worker pool bounded to w and
+// restores the default afterwards.
+func atWorkers(t *testing.T, w int, fn func() string) string {
+	t.Helper()
+	parallel.SetWorkers(w)
+	defer parallel.SetWorkers(0)
+	return fn()
+}
+
+// TestWorkerCountInvariance is the harness's core guarantee: every
+// parallelized experiment formats to byte-identical output with 1 worker
+// and with 8, on the same seed. Under -race this doubles as the data-race
+// sweep over every concurrent experiment path.
+func TestWorkerCountInvariance(t *testing.T) {
+	cases := []struct {
+		name  string
+		short bool // keep in -short runs (the race job's quick sweep)
+		run   func() string
+	}{
+		{"Fig2State", true, func() string { return Fig2State(TopoGnm, 192, 1).Format() }},
+		{"Fig3Stretch", true, func() string { return Fig3Stretch(TopoGeometric, 192, 3, 60).Format() }},
+		{"Fig45", true, func() string { return Fig45(TopoGnm, 128, 4, 40).Format() }},
+		{"Fig6Shortcuts", false, func() string {
+			return Fig6Shortcuts([]Fig6Spec{
+				{Label: "gnm-128", Kind: TopoGnm, N: 128},
+				{Label: "geo-128", Kind: TopoGeometric, N: 128},
+			}, 5, 40).Format()
+		}},
+		{"Fig7StateBytes", false, func() string { return Fig7StateBytes(256, 6).Format() }},
+		{"Fig9Scaling", false, func() string { return Fig9Scaling([]int{128, 192}, 8, 40).Format() }},
+		{"Fig10ASCongestion", false, func() string { return Fig10ASCongestion(192, 9).Format() }},
+		{"LandmarkStrategies", false, func() string { return LandmarkStrategies(TopoASLike, 192, 15, 40).Format() }},
+		{"ChurnCost", true, func() string { return ChurnCost(96, 17, 2).Format() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && !tc.short {
+				t.Skip("short mode: covered by the full run")
+			}
+			serial := atWorkers(t, 1, tc.run)
+			pooled := atWorkers(t, 8, tc.run)
+			if serial != pooled {
+				t.Errorf("output differs between workers=1 and workers=8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", serial, pooled)
+			}
+			again := atWorkers(t, 8, tc.run)
+			if pooled != again {
+				t.Errorf("output not stable across repeated workers=8 runs")
+			}
+		})
+	}
+}

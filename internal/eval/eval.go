@@ -12,6 +12,7 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"disco/internal/core"
 	"disco/internal/graph"
@@ -61,6 +62,9 @@ type Protocols struct {
 	Disco *core.Disco
 	S4    *s4.S4
 	SPR   *spr.SPR
+
+	mu   sync.Mutex
+	vrrs map[int64]*vrr.VRR
 }
 
 // BuildProtocols constructs the common environment and protocol stack.
@@ -76,10 +80,23 @@ func BuildProtocols(kind TopoKind, n int, seed int64) *Protocols {
 }
 
 // VRR builds the VRR baseline over the same environment (1,024-node
-// experiments only in the paper; VRR construction is O(n^2)-ish).
+// experiments only in the paper). Construction is O(n^2)-ish, so the
+// converged instance is memoized per seed: the three Fig. 4/5 panels share
+// one build, each forking it for concurrent routing. Construction is
+// deterministic, so memoization never changes results.
 func (p *Protocols) VRR(seed int64) *vrr.VRR {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.vrrs[seed]; ok {
+		return v
+	}
 	rng := rand.New(rand.NewSource(seed))
-	return vrr.New(p.Env, 4, graph.NodeID(rng.Intn(p.Env.N())))
+	v := vrr.New(p.Env, 4, graph.NodeID(rng.Intn(p.Env.N())))
+	if p.vrrs == nil {
+		p.vrrs = make(map[int64]*vrr.VRR)
+	}
+	p.vrrs[seed] = v
+	return v
 }
 
 // staticEnv builds the shared environment (indirection so experiment files

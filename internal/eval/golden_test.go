@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite the golden files under testdata/ with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update. The goldens pin the reproduced numbers: a refactor
+// that silently shifts any figure's values fails here before anyone
+// compares against the paper again.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGoldens {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/eval -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s.\n--- want ---\n%s--- got ---\n%s\n(if the change is intended, regenerate with -update)", path, want, got)
+	}
+}
+
+func TestGoldenFig2State(t *testing.T) {
+	checkGolden(t, "fig2_state_gnm256", Fig2State(TopoGnm, 256, 1).Format())
+}
+
+func TestGoldenFig3Stretch(t *testing.T) {
+	checkGolden(t, "fig3_stretch_geo512", Fig3Stretch(TopoGeometric, 512, 3, 150).Format())
+}
+
+func TestGoldenFig9Scaling(t *testing.T) {
+	checkGolden(t, "fig9_scaling_256_512", Fig9Scaling([]int{256, 512}, 8, 80).Format())
+}

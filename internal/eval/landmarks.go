@@ -8,6 +8,7 @@ import (
 	"disco/internal/core"
 	"disco/internal/graph"
 	"disco/internal/metrics"
+	"disco/internal/parallel"
 	"disco/internal/static"
 )
 
@@ -88,21 +89,42 @@ func LandmarkStrategies(kind TopoKind, n int, seed int64, pairs int) *LandmarkSt
 		}
 		d := core.NewDisco(env, core.WithSeed(seed))
 		row := LandmarkStrategyRow{Name: name}
+		// Per-pair stretch on the worker pool (forked data planes), with
+		// the float sums reduced in pair order so results are identical
+		// at any worker count.
+		type pairSample struct {
+			ok           bool
+			first, later float64
+		}
+		samples := make([]pairSample, len(ps))
+		forks := parallel.RunGather(len(ps), d.Fork, func(f *core.Disco, i int) {
+			s, t := graph.NodeID(ps[i].Src), graph.NodeID(ps[i].Dst)
+			short := f.ND.ShortestDist(s, t)
+			if short == 0 {
+				return
+			}
+			samples[i] = pairSample{
+				ok:    true,
+				first: g.PathLength(f.FirstRoute(s, t, core.ShortcutNoPathKnowledge)) / short,
+				later: g.PathLength(f.LaterRoute(s, t, core.ShortcutNoPathKnowledge)) / short,
+			}
+		})
 		var fsum, lsum float64
 		cnt := 0
-		for _, pr := range ps {
-			s, t := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
-			short := d.ND.ShortestDist(s, t)
-			if short == 0 {
+		for _, sm := range samples {
+			if !sm.ok {
 				continue
 			}
-			fsum += g.PathLength(d.FirstRoute(s, t, core.ShortcutNoPathKnowledge)) / short
-			lsum += g.PathLength(d.LaterRoute(s, t, core.ShortcutNoPathKnowledge)) / short
+			fsum += sm.first
+			lsum += sm.later
 			cnt++
 		}
 		row.FirstStretch = fsum / float64(cnt)
 		row.LaterStretch = lsum / float64(cnt)
-		row.Fallbacks, _ = d.Fallbacks()
+		for _, f := range forks {
+			fb, _ := f.Fallbacks()
+			row.Fallbacks += fb
+		}
 		_, dE, _, _ := d.StateVectors()
 		for _, e := range dE {
 			if e > row.MaxState {
@@ -112,11 +134,21 @@ func LandmarkStrategies(kind TopoKind, n int, seed int64, pairs int) *LandmarkSt
 		mean, _, _ := env.AddrSizeStats()
 		row.MeanAddrBytes = mean
 		// Count nodes violating the "landmark within vicinity" condition
-		// the guarantees need.
-		for v := 0; v < n; v++ {
-			if !d.ND.Vicinity(graph.NodeID(v)).Contains(env.LMOf[v]) {
-				row.VicinityMiss++
-			}
+		// the guarantees need — one truncated Dijkstra per node, fanned
+		// out with per-worker forks and integer-summed misses.
+		type missTally struct {
+			nd     *core.NDDisco
+			misses int
+		}
+		tallies := parallel.RunGather(n,
+			func() *missTally { return &missTally{nd: d.ND.Fork()} },
+			func(t *missTally, v int) {
+				if !t.nd.Vicinity(graph.NodeID(v)).Contains(env.LMOf[v]) {
+					t.misses++
+				}
+			})
+		for _, t := range tallies {
+			row.VicinityMiss += t.misses
 		}
 		res.Rows = append(res.Rows, row)
 	}

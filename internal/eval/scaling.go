@@ -8,6 +8,7 @@ import (
 	"disco/internal/core"
 	"disco/internal/graph"
 	"disco/internal/metrics"
+	"disco/internal/parallel"
 )
 
 // Fig9Point is one network size's measurement in the scaling sweep.
@@ -52,19 +53,38 @@ func Fig9Scaling(sizes []int, seed int64, pairs int) *Fig9Result {
 		pt := Fig9Point{N: n}
 
 		ps := metrics.SamplePairs(rand.New(rand.NewSource(seed+4000)), n, pairs)
+		g := p.Env.G
+		// Per-pair stretch fans out over the worker pool (forked data
+		// planes); the float sums reduce in pair order below, so the
+		// means are identical at any worker count.
+		samples := parallel.MapScratch(len(ps),
+			func() *stretchScratch {
+				return &stretchScratch{d: p.Disco.Fork(), s4: p.S4.Fork()}
+			},
+			func(sc *stretchScratch, i int) stretchSample {
+				s, t := graph.NodeID(ps[i].Src), graph.NodeID(ps[i].Dst)
+				short := sc.d.ND.ShortestDist(s, t)
+				if short == 0 {
+					return stretchSample{}
+				}
+				return stretchSample{
+					ok:         true,
+					discoFirst: stretchOf(g, sc.d.FirstRoute(s, t, core.ShortcutNoPathKnowledge), short),
+					discoLater: stretchOf(g, sc.d.LaterRoute(s, t, core.ShortcutNoPathKnowledge), short),
+					s4First:    stretchOf(g, sc.s4.FirstRoute(s, t), short),
+					s4Later:    stretchOf(g, sc.s4.LaterRoute(s, t), short),
+				}
+			})
 		var df, dl, sf, sl float64
 		count := 0
-		for _, pr := range ps {
-			s, t := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
-			short := p.Disco.ND.ShortestDist(s, t)
-			if short == 0 {
+		for _, sm := range samples {
+			if !sm.ok {
 				continue
 			}
-			g := p.Env.G
-			df += stretchOf(g, p.Disco.FirstRoute(s, t, core.ShortcutNoPathKnowledge), short)
-			dl += stretchOf(g, p.Disco.LaterRoute(s, t, core.ShortcutNoPathKnowledge), short)
-			sf += stretchOf(g, p.S4.FirstRoute(s, t), short)
-			sl += stretchOf(g, p.S4.LaterRoute(s, t), short)
+			df += sm.discoFirst
+			dl += sm.discoLater
+			sf += sm.s4First
+			sl += sm.s4Later
 			count++
 		}
 		pt.DiscoFirst = df / float64(count)

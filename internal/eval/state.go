@@ -7,6 +7,7 @@ import (
 	"disco/internal/addr"
 	"disco/internal/graph"
 	"disco/internal/metrics"
+	"disco/internal/parallel"
 )
 
 // StateResult holds per-protocol state CDFs (Fig. 2 and the state panels
@@ -109,52 +110,44 @@ func Fig7StateBytes(n int, seed int64) *Fig7Result {
 	v6 := addr.SizeModel{NameBytes: 16}
 
 	res := &Fig7Result{N: n}
+	// bytesStats computes per-node byte sizes on the worker pool and
+	// reduces them in node order, so the float mean never depends on the
+	// schedule.
+	bytesStats := func(at func(v int) float64) (mean, max float64) {
+		sizes := parallel.Map(n, at)
+		total := 0.0
+		for _, b := range sizes {
+			total += b
+			if b > max {
+				max = b
+			}
+		}
+		return total / float64(n), max
+	}
 	// S4 bytes: landmarks+cluster+labels are plain entries; resolution
 	// entries carry addresses.
 	nLM := len(p.Env.Landmarks)
+	keys := p.Env.Hashes
+	resLoad := make([]int, n)
+	for lm, c := range p.S4.DB.Load(keys) {
+		resLoad[lm] = c
+	}
 	s4Bytes := func(m addr.SizeModel) (mean, max float64) {
-		keys := p.Env.Hashes
-		resLoad := make([]int, n)
-		for lm, c := range p.S4.DB.Load(keys) {
-			resLoad[lm] = c
-		}
-		total := 0.0
-		for v := 0; v < n; v++ {
+		return bytesStats(func(v int) float64 {
 			labels := p.Env.G.Degree(graph.NodeID(v))
 			if lim := nLM + clusters[v]; labels > lim {
 				labels = lim
 			}
-			b := float64(nLM+clusters[v])*m.PlainEntryBytes() +
+			return float64(nLM+clusters[v])*m.PlainEntryBytes() +
 				float64(labels)*2 +
 				float64(resLoad[v])*(float64(2*m.NameBytes)+avgAddr)
-			total += b
-			if b > max {
-				max = b
-			}
-		}
-		return total / float64(n), max
+		})
 	}
 	ndBytes := func(m addr.SizeModel) (mean, max float64) {
-		total := 0.0
-		for v := 0; v < n; v++ {
-			b := ndB[v].Bytes(m, avgAddr)
-			total += b
-			if b > max {
-				max = b
-			}
-		}
-		return total / float64(n), max
+		return bytesStats(func(v int) float64 { return ndB[v].Bytes(m, avgAddr) })
 	}
 	dBytes := func(m addr.SizeModel) (mean, max float64) {
-		total := 0.0
-		for v := 0; v < n; v++ {
-			b := dB[v].Bytes(m, avgAddr)
-			total += b
-			if b > max {
-				max = b
-			}
-		}
-		return total / float64(n), max
+		return bytesStats(func(v int) float64 { return dB[v].Bytes(m, avgAddr) })
 	}
 
 	push := func(name string, entries []int, bytesFn func(addr.SizeModel) (float64, float64)) {

@@ -8,6 +8,9 @@ import (
 	"disco/internal/core"
 	"disco/internal/graph"
 	"disco/internal/metrics"
+	"disco/internal/parallel"
+	"disco/internal/s4"
+	"disco/internal/vrr"
 )
 
 // StretchResult holds stretch CDFs per series (Fig. 3 and the middle
@@ -62,38 +65,84 @@ func StretchWithVRR(p *Protocols, kind TopoKind, seed int64, pairs int) *Stretch
 	return stretchOver(p, kind, seed, pairs, true)
 }
 
+// stretchSample is one sampled pair's measurements; ok is false for pairs
+// skipped because the endpoints coincide in distance (short == 0).
+type stretchSample struct {
+	ok                     bool
+	discoFirst, discoLater float64
+	s4First, s4Later       float64
+	vrr                    float64
+}
+
+// stretchScratch is one worker's private routing state for a stretch sweep.
+type stretchScratch struct {
+	d  *core.Disco
+	s4 *s4.S4
+	vr *vrr.VRR
+}
+
 func stretchOver(p *Protocols, kind TopoKind, seed int64, pairs int, withVRR bool) *StretchResult {
 	n := p.Env.N()
 	ps := metrics.SamplePairs(rand.New(rand.NewSource(seed+1000)), n, pairs)
 	g := p.Env.G
 
+	var vr *vrr.VRR
+	if withVRR {
+		vr = p.VRR(seed)
+	}
+	// Fan the per-pair route computations out over the worker pool. Each
+	// worker forks the data planes (shared converged state, private
+	// caches); routes are pure functions of the environment, so the
+	// samples — and hence the CDFs — are identical at any worker count.
+	samples := make([]stretchSample, len(ps))
+	forks := parallel.RunGather(len(ps),
+		func() *stretchScratch {
+			sc := &stretchScratch{d: p.Disco.Fork(), s4: p.S4.Fork()}
+			if withVRR {
+				sc.vr = vr.Fork()
+			}
+			return sc
+		},
+		func(sc *stretchScratch, i int) {
+			s, t := graph.NodeID(ps[i].Src), graph.NodeID(ps[i].Dst)
+			short := sc.d.ND.ShortestDist(s, t)
+			if short == 0 {
+				return
+			}
+			out := stretchSample{ok: true}
+			out.discoFirst = stretchOf(g, sc.d.FirstRoute(s, t, core.ShortcutNoPathKnowledge), short)
+			out.discoLater = stretchOf(g, sc.d.LaterRoute(s, t, core.ShortcutNoPathKnowledge), short)
+			out.s4First = stretchOf(g, sc.s4.FirstRoute(s, t), short)
+			out.s4Later = stretchOf(g, sc.s4.LaterRoute(s, t), short)
+			if withVRR {
+				out.vrr = stretchOf(g, sc.vr.Route(s, t), short)
+			}
+			samples[i] = out
+		})
+
+	// Merge in pair order so output bytes never depend on the schedule.
 	discoFirst := make([]float64, 0, pairs)
 	discoLater := make([]float64, 0, pairs)
 	s4First := make([]float64, 0, pairs)
 	s4Later := make([]float64, 0, pairs)
 	var vrrSt []float64
-	var vr interface {
-		Route(s, t graph.NodeID) []graph.NodeID
-	}
-	if withVRR {
-		vr = p.VRR(seed)
-	}
-	p.Disco.ResetCounters()
-	for _, pr := range ps {
-		s, t := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
-		short := p.Disco.ND.ShortestDist(s, t)
-		if short == 0 {
+	for _, sm := range samples {
+		if !sm.ok {
 			continue
 		}
-		discoFirst = append(discoFirst, stretchOf(g, p.Disco.FirstRoute(s, t, core.ShortcutNoPathKnowledge), short))
-		discoLater = append(discoLater, stretchOf(g, p.Disco.LaterRoute(s, t, core.ShortcutNoPathKnowledge), short))
-		s4First = append(s4First, stretchOf(g, p.S4.FirstRoute(s, t), short))
-		s4Later = append(s4Later, stretchOf(g, p.S4.LaterRoute(s, t), short))
+		discoFirst = append(discoFirst, sm.discoFirst)
+		discoLater = append(discoLater, sm.discoLater)
+		s4First = append(s4First, sm.s4First)
+		s4Later = append(s4Later, sm.s4Later)
 		if withVRR {
-			vrrSt = append(vrrSt, stretchOf(g, vr.Route(s, t), short))
+			vrrSt = append(vrrSt, sm.vrr)
 		}
 	}
-	fb, _ := p.Disco.Fallbacks()
+	fb := 0
+	for _, sc := range forks {
+		f, _ := sc.d.Fallbacks()
+		fb += f
+	}
 	res := &StretchResult{
 		Kind:  kind,
 		N:     n,
@@ -173,20 +222,51 @@ func Fig6Shortcuts(specs []Fig6Spec, seed int64, pairs int) *Fig6Result {
 			pairs: metrics.SamplePairs(rand.New(rand.NewSource(seed+2000)), sp.N, pairs),
 		})
 	}
-	for _, sc := range core.AllShortcuts {
-		row := Fig6Row{Heuristic: sc}
-		for _, col := range cols {
-			total, count := 0.0, 0
-			for _, pr := range col.pairs {
-				s, t := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
-				short := col.nd.ShortestDist(s, t)
+	// One parallel sweep per column; each pair task evaluates all six
+	// heuristics against one worker-private fork, so a worker's vicinity
+	// cache is reused across heuristics. Per-heuristic means then reduce
+	// in pair order, exactly as the serial loops did.
+	nSC := len(core.AllShortcuts)
+	colMeans := make([][]float64, len(cols)) // [col][heuristic]
+	for ci, col := range cols {
+		type pairStretch struct {
+			ok bool
+			st []float64 // per heuristic
+		}
+		cps := col.pairs
+		nd := col.nd
+		samples := parallel.MapScratch(len(cps),
+			nd.Fork,
+			func(f *core.NDDisco, i int) pairStretch {
+				s, t := graph.NodeID(cps[i].Src), graph.NodeID(cps[i].Dst)
+				short := f.ShortestDist(s, t)
 				if short == 0 {
+					return pairStretch{}
+				}
+				out := pairStretch{ok: true, st: make([]float64, nSC)}
+				for si, sc := range core.AllShortcuts {
+					out.st[si] = stretchOf(f.Env.G, f.FirstRoute(s, t, sc), short)
+				}
+				return out
+			})
+		means := make([]float64, nSC)
+		for si := range core.AllShortcuts {
+			total, count := 0.0, 0
+			for _, sm := range samples {
+				if !sm.ok {
 					continue
 				}
-				total += stretchOf(col.nd.Env.G, col.nd.FirstRoute(s, t, sc), short)
+				total += sm.st[si]
 				count++
 			}
-			row.Means = append(row.Means, total/float64(count))
+			means[si] = total / float64(count)
+		}
+		colMeans[ci] = means
+	}
+	for si, sc := range core.AllShortcuts {
+		row := Fig6Row{Heuristic: sc}
+		for ci := range cols {
+			row.Means = append(row.Means, colMeans[ci][si])
 		}
 		res.Rows = append(res.Rows, row)
 	}

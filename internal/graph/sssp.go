@@ -1,6 +1,10 @@
 package graph
 
-import "math"
+import (
+	"math"
+
+	"disco/internal/parallel"
+)
 
 // Inf is the distance reported for unreached nodes.
 var Inf = math.Inf(1)
@@ -223,6 +227,30 @@ func (s *SSSP) PathTo(v NodeID) []NodeID {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
 	return rev
+}
+
+// ForEachSource fans an all-sources Dijkstra sweep out over the parallel
+// worker pool: visit(s, i, sources[i]) runs once per source with a
+// worker-private SSSP scratch; visit calls whichever Run variant it needs
+// (Run, RunK, RunRadius) and reads the results off s. The graph is
+// finalized up front so workers only ever read it; visit must confine
+// writes to source-indexed (or worker-private) storage.
+func ForEachSource(g *Graph, sources []NodeID, visit func(s *SSSP, i int, src NodeID)) {
+	if !g.Finalized() {
+		g.Finalize()
+	}
+	parallel.RunScratch(len(sources),
+		func() *SSSP { return NewSSSP(g) },
+		func(s *SSSP, i int) { visit(s, i, sources[i]) })
+}
+
+// AllNodes returns the slice [0..g.N()) for full-graph sweeps.
+func AllNodes(g *Graph) []NodeID {
+	out := make([]NodeID, g.N())
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
 }
 
 // FirstHopTo returns the first hop on the shortest path from the (single)

@@ -214,3 +214,15 @@ func (c *Congestion) CDF() *CDF {
 
 // Counts returns the raw per-edge counters (owned by the Congestion).
 func (c *Congestion) Counts() []int { return c.counts }
+
+// Merge adds other's per-edge counts into c — the reduction step for
+// per-worker counters of a parallel congestion sweep. Integer sums are
+// order-independent, so any merge order yields the same totals.
+func (c *Congestion) Merge(other *Congestion) {
+	if len(other.counts) != len(c.counts) {
+		panic(fmt.Sprintf("metrics: merging congestion over %d edges into %d", len(other.counts), len(c.counts)))
+	}
+	for i, v := range other.counts {
+		c.counts[i] += v
+	}
+}

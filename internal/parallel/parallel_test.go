@@ -1,0 +1,138 @@
+package parallel
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	SetWorkers(n)
+	defer SetWorkers(0)
+	fn()
+}
+
+func TestRunCoversEveryTaskOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 33} {
+		withWorkers(t, w, func() {
+			const n = 1000
+			hits := make([]int32, n)
+			Run(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d: task %d ran %d times", w, i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestRunZeroAndNegative(t *testing.T) {
+	ran := false
+	Run(0, func(int) { ran = true })
+	Run(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("no tasks should run for n <= 0")
+	}
+}
+
+func TestMapOrderedAcrossWorkerCounts(t *testing.T) {
+	var want []int
+	withWorkers(t, 1, func() {
+		want = Map(257, func(i int) int { return i * i })
+	})
+	for _, w := range []int{2, 7, 16} {
+		withWorkers(t, w, func() {
+			got := Map(257, func(i int) int { return i * i })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d: Map results differ from serial", w)
+			}
+		})
+	}
+}
+
+func TestMapScratchPerWorkerScratch(t *testing.T) {
+	withWorkers(t, 4, func() {
+		var created atomic.Int32
+		type scratch struct{ buf []int }
+		out := MapScratch(100,
+			func() *scratch { created.Add(1); return &scratch{buf: make([]int, 8)} },
+			func(s *scratch, i int) int {
+				s.buf[i%8] = i // reuse without racing: scratch is worker-private
+				return s.buf[i%8]
+			})
+		if int(created.Load()) > 4 {
+			t.Fatalf("scratch created %d times for 4 workers", created.Load())
+		}
+		for i, v := range out {
+			if v != i {
+				t.Fatalf("out[%d] = %d", i, v)
+			}
+		}
+	})
+}
+
+func TestTaskSeedIndependence(t *testing.T) {
+	seen := map[int64]bool{}
+	for task := 0; task < 1000; task++ {
+		s := TaskSeed(42, task)
+		if seen[s] {
+			t.Fatalf("duplicate seed for task %d", task)
+		}
+		seen[s] = true
+	}
+	if TaskSeed(1, 0) == TaskSeed(2, 0) {
+		t.Fatal("base seed must change the stream")
+	}
+	if TaskSeed(7, 3) != TaskSeed(7, 3) {
+		t.Fatal("TaskSeed must be a pure function")
+	}
+}
+
+func TestTaskRNGReproducible(t *testing.T) {
+	a, b := TaskRNG(9, 4), TaskRNG(9, 4)
+	for i := 0; i < 32; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (base, task) must yield identical streams")
+		}
+	}
+}
+
+func TestSumInto(t *testing.T) {
+	dst := SumInto(make([]int, 4), []int{1, 2, 3, 4}, []int{10, 20, 30, 40})
+	if !reflect.DeepEqual(dst, []int{11, 22, 33, 44}) {
+		t.Fatalf("SumInto = %v", dst)
+	}
+}
+
+func TestSetWorkersClamp(t *testing.T) {
+	SetWorkers(-5)
+	defer SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after negative SetWorkers", Workers())
+	}
+}
+
+// TestRaceStress exercises the concurrent scheduling paths under -race in
+// short mode: many small tasks, shared-but-indexed output, per-worker
+// scratch reuse.
+func TestRaceStress(t *testing.T) {
+	withWorkers(t, 8, func() {
+		for round := 0; round < 10; round++ {
+			out := MapScratch(500,
+				func() []int { return make([]int, 64) },
+				func(s []int, i int) int {
+					for j := range s {
+						s[j] = i + j
+					}
+					return s[i%64]
+				})
+			for i, v := range out {
+				if v != i+i%64 {
+					t.Fatalf("round %d: out[%d] = %d", round, i, v)
+				}
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package pathvector
 
 import (
 	"fmt"
+	"sort"
 
 	"disco/internal/graph"
 )
@@ -47,12 +48,20 @@ func (p *Protocol) LinkAlive(u, v graph.NodeID) bool {
 }
 
 // dropNeighbor removes every candidate nd learned via the dead neighbor
-// and reselects the affected destinations.
+// and reselects the affected destinations. Destinations are processed in
+// sorted order: reselection can admit or evict vicinity members, so map
+// iteration order here would leak into the converged state and message
+// counts.
 func (p *Protocol) dropNeighbor(nd *node, via graph.NodeID) {
+	dsts := make([]graph.NodeID, 0, len(nd.cand))
 	for dst, m := range nd.cand {
-		if _, ok := m[via]; !ok {
-			continue
+		if _, ok := m[via]; ok {
+			dsts = append(dsts, dst)
 		}
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, dst := range dsts {
+		m := nd.cand[dst]
 		delete(m, via)
 		if len(m) == 0 {
 			delete(nd.cand, dst)
@@ -128,10 +137,16 @@ func (p *Protocol) tableFingerprint() uint64 {
 // deterministic in tests.
 func (p *Protocol) PruneStale() {
 	for _, nd := range p.nodes {
+		// Sorted destination order: reselection has vicinity side effects,
+		// so map iteration order would make re-convergence nondeterministic.
+		stale := make([]graph.NodeID, 0)
 		for dst, r := range nd.best {
-			if p.pathAlive(r.path) {
-				continue
+			if !p.pathAlive(r.path) {
+				stale = append(stale, dst)
 			}
+		}
+		sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+		for _, dst := range stale {
 			// Drop every candidate with a dead path, then reselect.
 			m := nd.cand[dst]
 			for via, c := range m {

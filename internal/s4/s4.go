@@ -11,6 +11,7 @@ package s4
 
 import (
 	"disco/internal/graph"
+	"disco/internal/parallel"
 	"disco/internal/pathtree"
 	"disco/internal/resolve"
 	"disco/internal/static"
@@ -32,6 +33,14 @@ func New(env *static.Env, vnodes int) *S4 {
 		DB:    resolve.New(env.Landmarks, env.NameOf, vnodes),
 		trees: pathtree.NewCache(env.G, 128),
 	}
+}
+
+// Fork returns a concurrency view of s for one worker of a parallel
+// sweep: the environment and resolution DB are shared read-only; only the
+// lazy shortest-path-tree cache is private. Forked instances route
+// concurrently and return exactly the routes the original would.
+func (s *S4) Fork() *S4 {
+	return &S4{Env: s.Env, DB: s.DB, trees: pathtree.NewCache(s.Env.G, s.trees.Cap())}
 }
 
 // InCluster reports whether t is in v's cluster: d(v,t) < d(t, l_t).
@@ -142,18 +151,31 @@ func (s *S4) ClusterSize(v graph.NodeID) int {
 // ClusterSizesAll returns |C(v)| for every node using the dual formulation:
 // each node w settles its ball {v : d(w,v) < d(w, l_w)} with a
 // radius-bounded Dijkstra and contributes to those clusters. Total work is
-// proportional to total cluster state (what S4 actually stores).
+// proportional to total cluster state (what S4 actually stores). The
+// per-source balls run on the parallel worker pool with per-worker tally
+// arrays; integer merges are order-independent, so the result is identical
+// at any worker count.
 func (s *S4) ClusterSizesAll() []int {
 	n := s.Env.N()
-	out := make([]int, n)
-	ss := graph.NewSSSP(s.Env.G)
-	for w := 0; w < n; w++ {
-		ss.RunRadius(graph.NodeID(w), s.Env.LMDist[w])
-		for _, v := range ss.Order() {
-			if v != graph.NodeID(w) {
-				out[v]++
+	g := s.Env.G
+	g.Finalize()
+	type tally struct {
+		ss     *graph.SSSP
+		counts []int
+	}
+	parts := parallel.RunGather(n,
+		func() *tally { return &tally{ss: graph.NewSSSP(g), counts: make([]int, n)} },
+		func(t *tally, w int) {
+			t.ss.RunRadius(graph.NodeID(w), s.Env.LMDist[w])
+			for _, v := range t.ss.Order() {
+				if v != graph.NodeID(w) {
+					t.counts[v]++
+				}
 			}
-		}
+		})
+	out := make([]int, n)
+	for _, p := range parts {
+		parallel.SumInto(out, p.counts)
 	}
 	return out
 }

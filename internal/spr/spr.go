@@ -21,6 +21,12 @@ func New(env *static.Env) *SPR {
 	return &SPR{Env: env, trees: pathtree.NewCache(env.G, 128)}
 }
 
+// Fork returns a concurrency view of p for one worker of a parallel
+// sweep: the environment is shared, the lazy tree cache is private.
+func (p *SPR) Fork() *SPR {
+	return &SPR{Env: p.Env, trees: pathtree.NewCache(p.Env.G, p.trees.Cap())}
+}
+
 // Route returns the (deterministically tie-broken) shortest path s ⇝ t.
 func (p *SPR) Route(s, t graph.NodeID) []graph.NodeID {
 	return p.trees.Tree(t).PathFrom(s)

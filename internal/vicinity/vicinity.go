@@ -124,20 +124,21 @@ type Table struct {
 }
 
 // Build computes the k-node vicinity of every node in sources (nil means
-// all nodes) by truncated Dijkstra. Ties at the vicinity boundary are
-// broken by node ID, matching the deterministic path-vector acceptance
-// order.
+// all nodes) by truncated Dijkstra, fanning the per-source runs out over
+// the parallel worker pool. Ties at the vicinity boundary are broken by
+// node ID, matching the deterministic path-vector acceptance order, so the
+// table is identical at any worker count.
 func Build(g *graph.Graph, k int, sources []graph.NodeID) *Table {
 	if sources == nil {
-		sources = make([]graph.NodeID, g.N())
-		for i := range sources {
-			sources[i] = graph.NodeID(i)
-		}
+		sources = graph.AllNodes(g)
 	}
+	sets := make([]*Set, len(sources))
+	graph.ForEachSource(g, sources, func(s *graph.SSSP, i int, src graph.NodeID) {
+		sets[i] = buildOne(s, src, k)
+	})
 	t := &Table{K: k, sets: make(map[graph.NodeID]*Set, len(sources))}
-	s := graph.NewSSSP(g)
-	for _, src := range sources {
-		t.sets[src] = buildOne(s, src, k)
+	for i, src := range sources {
+		t.sets[src] = sets[i]
 	}
 	return t
 }

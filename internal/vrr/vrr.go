@@ -238,7 +238,9 @@ func (v *VRR) joinedNeighbors(u graph.NodeID) []graph.NodeID {
 // nextHop implements VRR forwarding at u toward the identifier of t: pick
 // the known endpoint (vpath endpoints through u, physical joined
 // neighbors, or u itself) with the ring-closest identifier and take the
-// recorded next hop toward it.
+// recorded next hop toward it. Ties extend to the via node so the choice
+// is independent of table-map iteration order (two vpaths through u can
+// share an endpoint but differ in next hop).
 func (v *VRR) nextHop(u, t graph.NodeID) (graph.NodeID, bool) {
 	target := v.Env.HashOf(t)
 	bestEp := u
@@ -246,7 +248,7 @@ func (v *VRR) nextHop(u, t graph.NodeID) (graph.NodeID, bool) {
 	bestD := names.RingDist(v.Env.HashOf(u), target)
 	consider := func(ep, via graph.NodeID) {
 		d := names.RingDist(v.Env.HashOf(ep), target)
-		if d < bestD || (d == bestD && ep < bestEp) {
+		if d < bestD || (d == bestD && (ep < bestEp || (ep == bestEp && via < bestVia))) {
 			bestEp, bestVia, bestD = ep, via, d
 		}
 	}
@@ -302,6 +304,25 @@ func appendTrim(nodes []graph.NodeID, nh graph.NodeID) []graph.NodeID {
 		}
 	}
 	return append(nodes, nh)
+}
+
+// Fork returns a concurrency view of v for one worker of a parallel
+// sweep: the converged ring, vset paths and forwarding tables are shared
+// read-only; the lazy tree cache (used for dead-end recovery) and the
+// Stuck counter are private. Sum fork Stuck counters to recover the
+// serial total.
+func (v *VRR) Fork() *VRR {
+	return &VRR{
+		Env:    v.Env,
+		R:      v.R,
+		order:  v.order,
+		ring:   v.ring,
+		tables: v.tables,
+		paths:  v.paths,
+		vsets:  v.vsets,
+		nextID: v.nextID,
+		trees:  pathtree.NewCache(v.Env.G, v.trees.Cap()),
+	}
 }
 
 // Route returns the packet route from s to t (VRR has no first/later
