@@ -8,6 +8,9 @@
 //	discosim -exp fig3 -n 16384        # override the size
 //	discosim -exp fig2 -full           # paper-scale sizes (slow, much memory)
 //	discosim -exp fig3 -workers 8      # bound the worker pool (default GOMAXPROCS)
+//	discosim -exp fig2 -n 16384 -memprofile mem.pb.gz
+//	                                   # report peak RSS and write a heap profile
+//	                                   # (the -full feasibility workflow)
 //	discosim -list                     # list experiments
 //
 // Experiment output is bit-identical at any -workers value: the harness
@@ -19,9 +22,14 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"disco/internal/eval"
@@ -128,6 +136,60 @@ var experiments = []experiment{
 	}},
 }
 
+// peakRSSBytes returns the process's peak resident set size (VmHWM from
+// /proc/self/status) in bytes, or 0 when unavailable (non-Linux).
+func peakRSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line) // "VmHWM:  123456 kB"
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// reportMemory prints the peak-RSS / heap summary and writes the heap
+// profile the -full feasibility analysis needs: paper-scale runs are
+// memory-bound, so their footprint is measured, not guessed.
+func reportMemory(profilePath string) {
+	runtime.GC() // settle the heap so the profile reflects live state
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const mb = 1024 * 1024
+	line := fmt.Sprintf("memory: heap-live %.1f MB, total-alloc %.1f MB, sys %.1f MB",
+		float64(ms.HeapAlloc)/mb, float64(ms.TotalAlloc)/mb, float64(ms.Sys)/mb)
+	if rss := peakRSSBytes(); rss > 0 {
+		line = fmt.Sprintf("memory: peak RSS %.1f MB, %s", float64(rss)/mb, line[len("memory: "):])
+	}
+	fmt.Println(line)
+	f, err := os.Create(profilePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	fmt.Printf("memory: heap profile written to %s (go tool pprof -sample_index=inuse_space)\n", profilePath)
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment to run (see -list), or 'all'")
 	n := flag.Int("n", 0, "override network size (0 = experiment default)")
@@ -135,6 +197,7 @@ func main() {
 	pairs := flag.Int("pairs", 500, "sampled source-destination pairs")
 	full := flag.Bool("full", false, "use paper-scale sizes (up to 192,244 nodes; slow)")
 	workers := flag.Int("workers", 0, "worker pool size for parallel sweeps (0 = GOMAXPROCS); results are identical at any value")
+	memprofile := flag.String("memprofile", "", "write a heap profile here after the run and report peak RSS (the -full feasibility workflow)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -163,5 +226,8 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
 		os.Exit(2)
+	}
+	if *memprofile != "" {
+		reportMemory(*memprofile)
 	}
 }

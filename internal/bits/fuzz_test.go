@@ -1,0 +1,122 @@
+package bits
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzWriteReadBits round-trips arbitrary (value, width) pairs through the
+// bit writer/reader, interleaved with a second field, asserting exact
+// recovery and exact stream length. Run with `go test -fuzz FuzzWriteReadBits`;
+// the checked-in corpus under testdata/fuzz/ runs on every plain `go test`.
+func FuzzWriteReadBits(f *testing.F) {
+	f.Add(uint64(0), uint(1), uint64(5), uint(3))
+	f.Add(uint64(1), uint(64), uint64(0), uint(0))
+	f.Add(uint64(0xdeadbeef), uint(32), uint64(0x7fffffffffffffff), uint(63))
+	f.Add(uint64(1)<<63, uint(64), uint64(1), uint(1))
+	f.Fuzz(func(t *testing.T, a uint64, wa uint, b uint64, wb uint) {
+		wa %= 65
+		wb %= 65
+		ma, mb := mask(wa), mask(wb)
+		var w Writer
+		w.WriteBits(a, int(wa))
+		w.WriteBits(b, int(wb))
+		if got, want := w.Len(), int(wa+wb); got != want {
+			t.Fatalf("Len = %d, want %d", got, want)
+		}
+		if got, want := len(w.Bytes()), (int(wa+wb)+7)/8; got != want {
+			t.Fatalf("byte len = %d, want %d", got, want)
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		if got := r.ReadBits(int(wa)); got != a&ma {
+			t.Fatalf("field a: got %x want %x (width %d)", got, a&ma, wa)
+		}
+		if got := r.ReadBits(int(wb)); got != b&mb {
+			t.Fatalf("field b: got %x want %x (width %d)", got, b&mb, wb)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("remaining = %d, want 0", r.Remaining())
+		}
+	})
+}
+
+func mask(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// FuzzGammaRoundTrip round-trips Elias-gamma-coded values mixed with
+// fixed-width fields — the exact interleaving the §4.2 address codec uses
+// (gamma hop count, then per-hop port labels).
+func FuzzGammaRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(1))
+	f.Add(uint64(2), uint64(0xffffffffffffffff))
+	f.Add(uint64(1)<<63, uint64(3))
+	f.Add(uint64(12345), uint64(678910))
+	f.Fuzz(func(t *testing.T, v1, v2 uint64) {
+		if v1 == 0 {
+			v1 = 1 // gamma coding is defined for v >= 1
+		}
+		if v2 == 0 {
+			v2 = 1
+		}
+		var w Writer
+		w.WriteGamma(v1)
+		w.WriteBits(v2, 64)
+		w.WriteGamma(v2)
+		wantLen := 2*bits.Len64(v1) - 1 + 64 + 2*bits.Len64(v2) - 1
+		if w.Len() != wantLen {
+			t.Fatalf("Len = %d, want %d (gamma of %d and %d)", w.Len(), wantLen, v1, v2)
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		if got := r.ReadGamma(); got != v1 {
+			t.Fatalf("gamma 1: got %d want %d", got, v1)
+		}
+		if got := r.ReadBits(64); got != v2 {
+			t.Fatalf("fixed field: got %x want %x", got, v2)
+		}
+		if got := r.ReadGamma(); got != v2 {
+			t.Fatalf("gamma 2: got %d want %d", got, v2)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("remaining = %d, want 0", r.Remaining())
+		}
+	})
+}
+
+// FuzzWidth cross-checks Width (ceil(log2 n), the per-hop label width)
+// against the stdlib bit-length identity and the codec invariant that any
+// port in [0, n) survives a Width(n)-bit round trip.
+func FuzzWidth(f *testing.F) {
+	f.Add(0, uint64(0))
+	f.Add(1, uint64(0))
+	f.Add(2, uint64(1))
+	f.Add(257, uint64(255))
+	f.Fuzz(func(t *testing.T, n int, port uint64) {
+		if n < 0 {
+			n = -n
+		}
+		if n > 1<<30 {
+			n %= 1 << 30
+		}
+		w := Width(n)
+		if n <= 1 {
+			if w != 0 {
+				t.Fatalf("Width(%d) = %d, want 0", n, w)
+			}
+			return
+		}
+		if want := bits.Len64(uint64(n - 1)); w != want {
+			t.Fatalf("Width(%d) = %d, want %d", n, w, want)
+		}
+		port %= uint64(n)
+		var bw Writer
+		bw.WriteBits(port, w)
+		r := NewReader(bw.Bytes(), bw.Len())
+		if got := r.ReadBits(w); got != port {
+			t.Fatalf("port %d (n=%d) round-tripped to %d", port, n, got)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"disco/internal/graph"
 	"disco/internal/names"
 	"disco/internal/overlay"
+	"disco/internal/pathtree"
 	"disco/internal/resolve"
 	"disco/internal/sloppy"
 	"disco/internal/static"
@@ -78,14 +79,19 @@ func NewDisco(env *static.Env, opts ...DiscoOption) *Disco {
 func (d *Disco) Env() *static.Env { return d.ND.Env }
 
 // Fork returns a concurrency view of d for one worker of a parallel
-// sweep: the converged resolution DB, grouping view and overlay are shared
-// read-only, the NDDisco layer is forked (private caches), and the
-// fallback/miss counters start at zero so each worker tallies its own
-// routes. Sum fork counters (order-independent) to recover the serial
-// totals.
-func (d *Disco) Fork() *Disco {
+// sweep: the converged resolution DB, grouping view, overlay and (when
+// installed) the immutable snapshot are shared read-only, the NDDisco
+// layer is forked (scratch only under a snapshot, private caches without
+// one), and the fallback/miss counters start at zero so each worker
+// tallies its own routes. Sum fork counters (order-independent) to recover
+// the serial totals.
+func (d *Disco) Fork() *Disco { return d.ForkWith(nil) }
+
+// ForkWith is Fork with a caller-supplied destination-tree scratch shared
+// between the protocol forks of one worker (see NDDisco.ForkWith).
+func (d *Disco) ForkWith(dest *pathtree.Lazy) *Disco {
 	return &Disco{
-		ND:       d.ND.Fork(),
+		ND:       d.ND.ForkWith(dest),
 		DB:       d.DB,
 		View:     d.View,
 		Net:      d.Net,
@@ -179,7 +185,7 @@ func (d *Disco) FirstRoute(s, t graph.NodeID, sc Shortcut) []graph.NodeID {
 		d.misses++
 	}
 	owner := d.DB.OwnerOf(d.Env().HashOf(t))
-	head := d.ND.trees.Tree(owner).PathFrom(s) // s ⇝ owner (a landmark)
+	head := d.ND.tree().PathFrom(owner, s) // s ⇝ owner (a landmark)
 	rest := d.ND.baseForward(owner, t)
 	return d.ND.walk(joinPaths(head, rest), t, sc)
 }

@@ -6,6 +6,7 @@ import (
 
 	"disco/internal/graph"
 	"disco/internal/metrics"
+	"disco/internal/snapshot"
 )
 
 func TestForwardFirstMatchesBounds(t *testing.T) {
@@ -107,4 +108,37 @@ func TestForwardDeterministic(t *testing.T) {
 		}
 	}
 	_ = env
+}
+
+// TestForwardSnapshotRegime pins the hop-by-hop forwarding plane under
+// the shared-snapshot regime: a snapshot-backed fork (whose legacy tree
+// cache is nil) must forward every packet along exactly the path the
+// legacy instance does, for both protocols and both packet generations.
+func TestForwardSnapshotRegime(t *testing.T) {
+	env, legacy := testEnv(t, 47, 300, 1200)
+	snapped := NewDisco(env, WithSeed(47))
+	snapped.ND.UseSnapshot(snapshot.Build(env.G, snapped.ND.K, env.Landmarks))
+	fork := snapped.Fork() // snapshot fork: no private caches at all
+	pairs := metrics.SamplePairs(rand.New(rand.NewSource(48)), env.N(), 200)
+	for _, p := range pairs {
+		s, dst := graph.NodeID(p.Src), graph.NodeID(p.Dst)
+		checks := []struct {
+			name      string
+			want, got []graph.NodeID
+		}{
+			{"ND.ForwardFirst", legacy.ND.ForwardFirst(s, dst), fork.ND.ForwardFirst(s, dst)},
+			{"ND.ForwardLater", legacy.ND.ForwardLater(s, dst), fork.ND.ForwardLater(s, dst)},
+			{"Disco.ForwardFirst", legacy.ForwardFirst(s, dst), fork.ForwardFirst(s, dst)},
+		}
+		for _, c := range checks {
+			if len(c.want) != len(c.got) {
+				t.Fatalf("%s(%d,%d): snapshot fork path %v != legacy %v", c.name, s, dst, c.got, c.want)
+			}
+			for i := range c.want {
+				if c.want[i] != c.got[i] {
+					t.Fatalf("%s(%d,%d): snapshot fork path %v != legacy %v", c.name, s, dst, c.got, c.want)
+				}
+			}
+		}
+	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"disco/internal/graph"
 	"disco/internal/pathtree"
+	"disco/internal/snapshot"
 	"disco/internal/static"
 	"disco/internal/vicinity"
 )
@@ -24,10 +25,23 @@ import (
 // NDDisco is the converged name-dependent protocol instance: landmark
 // routes plus fixed-size vicinities. The source must know the destination's
 // address for routing (Disco removes that assumption).
+//
+// Two cache regimes exist. Without a snapshot (the legacy regime),
+// vicinities and trees are computed lazily into instance-private caches and
+// Fork() rebuilds them per worker. With UseSnapshot, the shared immutable
+// snapshot serves every vicinity and landmark-tree read allocation-free,
+// forks share it by pointer, and the only per-fork state is a reusable
+// Dijkstra scratch for destination-rooted queries. Route values are
+// identical in both regimes (see eval's snapshot-equivalence test).
 type NDDisco struct {
 	Env *static.Env
 	K   int // vicinity size |V(v)|, Θ(sqrt(n log n))
 
+	// Shared immutable state (snapshot regime).
+	snap *snapshot.Snapshot
+	dest *pathtree.Lazy // per-fork scratch for destination-rooted queries
+
+	// Private lazy caches (legacy regime; nil/unused under a snapshot).
 	vic    map[graph.NodeID]*vicinity.Set
 	vicCap int
 	sssp   *graph.SSSP
@@ -50,7 +64,8 @@ func WithVicinityCacheCap(c int) NDOption { return func(r *NDDisco) { r.vicCap =
 
 // NewNDDisco builds the converged NDDisco data plane over env. Vicinities
 // and shortest-path trees are computed lazily and cached, so instances are
-// cheap to create even on very large graphs.
+// cheap to create even on very large graphs; install a shared snapshot
+// with UseSnapshot before heavy parallel sweeps.
 func NewNDDisco(env *static.Env, opts ...NDOption) *NDDisco {
 	r := &NDDisco{
 		Env:  env,
@@ -65,12 +80,43 @@ func NewNDDisco(env *static.Env, opts ...NDOption) *NDDisco {
 	return r
 }
 
-// Fork returns a concurrency view of r for one worker of a parallel
-// sweep: it shares the immutable converged environment and parameters but
-// owns private lazy caches and Dijkstra scratch, so forks may route
-// concurrently. Routes are pure functions of the Env, so a fork returns
+// UseSnapshot switches r (and every future fork) to the shared immutable
+// snapshot: vicinity and landmark-tree reads come from s, destination-
+// rooted queries run on a private reusable Dijkstra scratch. The snapshot
+// must have been built over the same graph with r's vicinity size.
+func (r *NDDisco) UseSnapshot(s *snapshot.Snapshot) {
+	want := r.K
+	if n := r.Env.N(); want > n {
+		want = n
+	}
+	if s.K() != want {
+		panic(fmt.Sprintf("core: snapshot K=%d does not match NDDisco K=%d", s.K(), want))
+	}
+	r.snap = s
+	r.dest = pathtree.NewLazy(r.Env.G)
+}
+
+// Snapshot returns the installed shared snapshot, or nil.
+func (r *NDDisco) Snapshot() *snapshot.Snapshot { return r.snap }
+
+// Fork returns a concurrency view of r for one worker of a parallel sweep.
+// Under a snapshot the fork shares all converged read-only state and owns
+// only a destination-tree scratch; in the legacy regime it owns private
+// lazy caches. Routes are pure functions of the Env, so a fork returns
 // exactly the routes the original would.
-func (r *NDDisco) Fork() *NDDisco {
+func (r *NDDisco) Fork() *NDDisco { return r.ForkWith(nil) }
+
+// ForkWith is Fork with a caller-supplied destination-tree scratch, letting
+// the protocol forks of one worker (e.g. Disco and S4 routing the same
+// sampled pairs) share each other's destination Dijkstra runs. A nil dest
+// gives the fork its own scratch. Ignored in the legacy regime.
+func (r *NDDisco) ForkWith(dest *pathtree.Lazy) *NDDisco {
+	if r.snap != nil {
+		if dest == nil {
+			dest = pathtree.NewLazy(r.Env.G)
+		}
+		return &NDDisco{Env: r.Env, K: r.K, snap: r.snap, dest: dest}
+	}
 	return &NDDisco{
 		Env:    r.Env,
 		K:      r.K,
@@ -81,8 +127,12 @@ func (r *NDDisco) Fork() *NDDisco {
 	}
 }
 
-// Vicinity returns V(v), computing and caching it on first use.
+// Vicinity returns V(v): from the shared snapshot when installed
+// (allocation-free), else computed and cached on first use.
 func (r *NDDisco) Vicinity(v graph.NodeID) *vicinity.Set {
+	if r.snap != nil {
+		return r.snap.Vicinity(v)
+	}
 	if s, ok := r.vic[v]; ok {
 		return s
 	}
@@ -107,16 +157,22 @@ func setFromSSSP(s *graph.SSSP, src graph.NodeID) *vicinity.Set {
 	return vicinity.FromEntries(src, entries)
 }
 
+// tree returns the fork's tree view (the shared regime-dispatch rule in
+// internal/snapshot).
+func (r *NDDisco) tree() snapshot.TreeView {
+	return snapshot.TreeView{Snap: r.snap, Dest: r.dest, Cache: r.trees}
+}
+
 // ShortestDist returns the true shortest-path distance d(s,t), used as the
 // stretch denominator.
 func (r *NDDisco) ShortestDist(s, t graph.NodeID) float64 {
-	return r.trees.Tree(t).Dist(s)
+	return r.tree().Dist(t, s)
 }
 
 // ShortestPath returns a true shortest path s ⇝ t (the path-vector
 // baseline's route).
 func (r *NDDisco) ShortestPath(s, t graph.NodeID) []graph.NodeID {
-	return r.trees.Tree(t).PathFrom(s)
+	return r.tree().PathFrom(t, s)
 }
 
 // RouteLen returns the weighted length of a node path.
@@ -168,7 +224,7 @@ func (r *NDDisco) directRoute(s, t graph.NodeID) []graph.NodeID {
 		return []graph.NodeID{s}
 	}
 	if r.Env.IsLM[t] {
-		return r.trees.Tree(t).PathFrom(s)
+		return r.tree().PathFrom(t, s)
 	}
 	if vs := r.Vicinity(s); vs.Contains(t) {
 		return vs.PathTo(t)
@@ -180,7 +236,7 @@ func (r *NDDisco) directRoute(s, t graph.NodeID) []graph.NodeID {
 // path to t's landmark followed by t's explicit route.
 func (r *NDDisco) baseForward(s, t graph.NodeID) []graph.NodeID {
 	a := r.Env.AddrOf(t)
-	toLM := r.trees.Tree(a.Landmark).PathFrom(s) // s ⇝ l_t
+	toLM := r.tree().PathFrom(a.Landmark, s) // s ⇝ l_t
 	return joinPaths(toLM, a.Path)
 }
 
@@ -190,8 +246,8 @@ func (r *NDDisco) baseForward(s, t graph.NodeID) []graph.NodeID {
 // graph is undirected (§6 reversibility assumption).
 func (r *NDDisco) baseReverse(s, t graph.NodeID) []graph.NodeID {
 	a := r.Env.AddrOf(s)
-	down := a.Reverse()                       // s ⇝ l_s
-	toT := r.trees.Tree(a.Landmark).PathTo(t) // l_s ⇝ t
+	down := a.Reverse()                   // s ⇝ l_s
+	toT := r.tree().PathTo(a.Landmark, t) // l_s ⇝ t
 	return joinPaths(down, toT)
 }
 
@@ -281,8 +337,12 @@ func (r *NDDisco) Landmarks() int { return len(r.Env.Landmarks) }
 func (r *NDDisco) VicinityRadius(v graph.NodeID) float64 { return r.Vicinity(v).Radius() }
 
 // ResetCaches drops cached vicinities and trees (between experiments on the
-// same Env).
+// same Env). A shared snapshot is immutable and stays installed.
 func (r *NDDisco) ResetCaches() {
+	if r.snap != nil {
+		r.dest = pathtree.NewLazy(r.Env.G)
+		return
+	}
 	r.vic = make(map[graph.NodeID]*vicinity.Set)
 	r.trees = pathtree.NewCache(r.Env.G, r.trees.Cap())
 }

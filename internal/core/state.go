@@ -4,6 +4,7 @@ import (
 	"disco/internal/addr"
 	"disco/internal/graph"
 	"disco/internal/names"
+	"disco/internal/parallel"
 )
 
 // StateBreakdown itemizes one node's data-plane routing state in table
@@ -74,7 +75,9 @@ func ndStateBreakdown(r *NDDisco, v graph.NodeID, resLoad []int) StateBreakdown 
 
 // StateVectors computes per-node state entry counts for NDDisco and Disco
 // in one pass (they share everything but the group/overlay additions).
-// Index i holds node i's entry count.
+// Index i holds node i's entry count. The per-node accounting fans out
+// over the worker pool — every task writes only its own index, so the
+// vectors are identical at any worker count.
 func (d *Disco) StateVectors() (ndEntries, discoEntries []int, ndBreak, discoBreak []StateBreakdown) {
 	n := d.Env().N()
 	resLoad := d.resolutionLoad()
@@ -87,7 +90,7 @@ func (d *Disco) StateVectors() (ndEntries, discoEntries []int, ndBreak, discoBre
 	// group; compute by bucketing instead of O(n^2) scanning.
 	groupSize := d.groupSizes()
 
-	for v := 0; v < n; v++ {
+	parallel.Run(n, func(v int) {
 		nd := ndStateBreakdown(d.ND, graph.NodeID(v), resLoad)
 		ndBreak[v] = nd
 		ndEntries[v] = nd.Total()
@@ -96,7 +99,7 @@ func (d *Disco) StateVectors() (ndEntries, discoEntries []int, ndBreak, discoBre
 		dd.OverlayLinks = d.Net.Degree(graph.NodeID(v))
 		discoBreak[v] = dd
 		discoEntries[v] = dd.Total()
-	}
+	})
 	return ndEntries, discoEntries, ndBreak, discoBreak
 }
 

@@ -85,6 +85,7 @@ func congestionOf(g *graph.Graph, rng *rand.Rand, fork func() func(s, t graph.No
 // compared as CDFs over edges.
 func Congestion(p *Protocols, kind TopoKind, seed int64, withVRR bool) *CongestionResult {
 	g := p.Env.G
+	p.EnsureSnapshot()
 	res := &CongestionResult{Kind: kind, N: g.N(), Edges: g.M()}
 
 	res.Labels = append(res.Labels, "Disco")
@@ -140,15 +141,15 @@ func (r *Fig45Result) Format() string {
 
 // Fig45 reproduces Fig. 4 (kind = TopoGnm) or Fig. 5 (TopoGeometric).
 // The panels run in sequence — each already saturates the worker pool
-// internally, and the O(n^2)-ish VRR baseline is built once (memoized on
-// p) and forked by every panel that routes through it.
+// internally, the shared snapshot is built once up front for the two
+// routing panels, and the O(n^2)-ish VRR baseline is built once (memoized
+// on p) and forked by every panel that routes through it.
 func Fig45(kind TopoKind, n int, seed int64, pairs int) *Fig45Result {
 	p := BuildProtocols(kind, n, seed)
-	st := StateWithVRR(p, seed)
-	st.Kind = kind
+	p.EnsureSnapshot()
 	return &Fig45Result{
 		Kind:       kind,
-		State:      st,
+		State:      StateWithVRR(p, kind, seed),
 		Stretch:    StretchWithVRR(p, kind, seed, pairs),
 		Congestion: Congestion(p, kind, seed, true),
 	}

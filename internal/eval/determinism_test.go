@@ -1,10 +1,17 @@
 package eval
 
 import (
+	"flag"
 	"testing"
 
 	"disco/internal/parallel"
 )
+
+// invarianceWorkers is the pooled worker count the invariance test
+// compares against workers=1. CI runs the test at -workers 1, 4 and 16 so
+// schedule-dependent bugs that only appear at particular pool widths are
+// caught.
+var invarianceWorkers = flag.Int("workers", 8, "pooled worker count TestWorkerCountInvariance compares against workers=1")
 
 // atWorkers runs fn with the process-wide worker pool bounded to w and
 // restores the default afterwards.
@@ -17,8 +24,9 @@ func atWorkers(t *testing.T, w int, fn func() string) string {
 
 // TestWorkerCountInvariance is the harness's core guarantee: every
 // parallelized experiment formats to byte-identical output with 1 worker
-// and with 8, on the same seed. Under -race this doubles as the data-race
-// sweep over every concurrent experiment path.
+// and with -workers (default 8), on the same seed. Under -race this
+// doubles as the data-race sweep over every concurrent experiment path,
+// including the shared-snapshot reads every fork performs.
 func TestWorkerCountInvariance(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -35,10 +43,17 @@ func TestWorkerCountInvariance(t *testing.T) {
 			}, 5, 40).Format()
 		}},
 		{"Fig7StateBytes", false, func() string { return Fig7StateBytes(256, 6).Format() }},
+		{"Fig8Convergence", false, func() string { return Fig8Convergence([]int{64, 96, 128, 192}, 96, 13).Format() }},
 		{"Fig9Scaling", false, func() string { return Fig9Scaling([]int{128, 192}, 8, 40).Format() }},
 		{"Fig10ASCongestion", false, func() string { return Fig10ASCongestion(192, 9).Format() }},
 		{"LandmarkStrategies", false, func() string { return LandmarkStrategies(TopoASLike, 192, 15, 40).Format() }},
+		{"EstimateError", false, func() string { return EstimateError(192, 11, 0.4, 40).Format() }},
+		{"TradeoffSweep", false, func() string { return TradeoffSweep(TopoGnm, 192, []int{1, 2, 3}, 19, 40).Format() }},
 		{"ChurnCost", true, func() string { return ChurnCost(96, 17, 2).Format() }},
+	}
+	pooledWorkers := *invarianceWorkers
+	if pooledWorkers < 1 {
+		pooledWorkers = 1
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -46,13 +61,13 @@ func TestWorkerCountInvariance(t *testing.T) {
 				t.Skip("short mode: covered by the full run")
 			}
 			serial := atWorkers(t, 1, tc.run)
-			pooled := atWorkers(t, 8, tc.run)
+			pooled := atWorkers(t, pooledWorkers, tc.run)
 			if serial != pooled {
-				t.Errorf("output differs between workers=1 and workers=8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", serial, pooled)
+				t.Errorf("output differs between workers=1 and workers=%d:\n--- workers=1 ---\n%s--- workers=%d ---\n%s", pooledWorkers, serial, pooledWorkers, pooled)
 			}
-			again := atWorkers(t, 8, tc.run)
+			again := atWorkers(t, pooledWorkers, tc.run)
 			if pooled != again {
-				t.Errorf("output not stable across repeated workers=8 runs")
+				t.Errorf("output not stable across repeated workers=%d runs", pooledWorkers)
 			}
 		})
 	}

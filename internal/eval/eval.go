@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"disco/internal/core"
 	"disco/internal/graph"
 	"disco/internal/metrics"
 	"disco/internal/s4"
+	"disco/internal/snapshot"
 	"disco/internal/spr"
 	"disco/internal/static"
 	"disco/internal/topology"
@@ -55,6 +57,22 @@ func BuildTopo(kind TopoKind, n int, seed int64) *graph.Graph {
 	panic(fmt.Sprintf("eval: unknown topology %q", kind))
 }
 
+// snapshotBacked selects whether routing experiments precompute the shared
+// immutable snapshot (the default) or run on the legacy per-fork caches.
+// The snapshot-equivalence test flips it to assert both paths produce
+// byte-identical output; there is no other reason to turn it off.
+var snapshotBacked atomic.Bool
+
+func init() { snapshotBacked.Store(true) }
+
+// SetSnapshotBacked toggles snapshot-backed routing for subsequently built
+// experiments (tests only).
+func SetSnapshotBacked(on bool) { snapshotBacked.Store(on) }
+
+// SnapshotBacked reports whether routing experiments use the shared
+// snapshot layer.
+func SnapshotBacked() bool { return snapshotBacked.Load() }
+
 // Protocols bundles the protocol instances built over one environment so
 // experiments share landmarks, names and caches.
 type Protocols struct {
@@ -64,7 +82,39 @@ type Protocols struct {
 	SPR   *spr.SPR
 
 	mu   sync.Mutex
+	snap *snapshot.Snapshot
 	vrrs map[int64]*vrr.VRR
+}
+
+// EnsureSnapshot builds (once) the shared immutable snapshot — the flat
+// vicinity table plus the landmark shortest-path forest, computed in
+// parallel — and installs it into the Disco and S4 data planes, so every
+// subsequent Fork() shares it instead of rebuilding private caches. A
+// no-op when snapshot backing is toggled off. Call before routing sweeps;
+// state-only experiments don't need it.
+func (p *Protocols) EnsureSnapshot() {
+	if !SnapshotBacked() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.snap != nil {
+		return
+	}
+	p.snap = snapshot.Build(p.Env.G, p.Disco.ND.K, p.Env.Landmarks)
+	p.Disco.ND.UseSnapshot(p.snap)
+	p.S4.UseSnapshot(p.snap)
+}
+
+// installSnapshot builds and installs a snapshot for a standalone Disco
+// instance outside a Protocols bundle (per-strategy environments and the
+// estimate-error experiment). A no-op when snapshot backing is off.
+func installSnapshot(d *core.Disco) {
+	if !SnapshotBacked() {
+		return
+	}
+	env := d.Env()
+	d.ND.UseSnapshot(snapshot.Build(env.G, d.ND.K, env.Landmarks))
 }
 
 // BuildProtocols constructs the common environment and protocol stack.
@@ -92,6 +142,9 @@ func (p *Protocols) VRR(seed int64) *vrr.VRR {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	v := vrr.New(p.Env, 4, graph.NodeID(rng.Intn(p.Env.N())))
+	// The memoized instance lives for the whole experiment; keep only the
+	// sealed flat representation.
+	v.Compact()
 	if p.vrrs == nil {
 		p.vrrs = make(map[int64]*vrr.VRR)
 	}

@@ -42,6 +42,21 @@ func TestGoldenFig3Stretch(t *testing.T) {
 	checkGolden(t, "fig3_stretch_geo512", Fig3Stretch(TopoGeometric, 512, 3, 150).Format())
 }
 
+func TestGoldenFig4Gnm(t *testing.T) {
+	checkGolden(t, "fig4_gnm256", Fig45(TopoGnm, 256, 4, 80).Format())
+}
+
+func TestGoldenFig5Geometric(t *testing.T) {
+	checkGolden(t, "fig5_geo256", Fig45(TopoGeometric, 256, 4, 80).Format())
+}
+
+func TestGoldenFig6Shortcuts(t *testing.T) {
+	checkGolden(t, "fig6_shortcuts_256", Fig6Shortcuts([]Fig6Spec{
+		{Label: "Geometric", Kind: TopoGeometric, N: 256},
+		{Label: "GNM", Kind: TopoGnm, N: 256},
+	}, 5, 80).Format())
+}
+
 func TestGoldenFig9Scaling(t *testing.T) {
 	checkGolden(t, "fig9_scaling_256_512", Fig9Scaling([]int{256, 512}, 8, 80).Format())
 }

@@ -88,6 +88,9 @@ func LandmarkStrategies(kind TopoKind, n int, seed int64, pairs int) *LandmarkSt
 			env = static.NewEnv(g, seed, static.WithLandmarks(lms))
 		}
 		d := core.NewDisco(env, core.WithSeed(seed))
+		// Each strategy has its own landmark set, hence its own snapshot;
+		// the build is parallel and every fork below shares it.
+		installSnapshot(d)
 		row := LandmarkStrategyRow{Name: name}
 		// Per-pair stretch on the worker pool (forked data planes), with
 		// the float sums reduced in pair order so results are identical

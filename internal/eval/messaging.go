@@ -7,6 +7,7 @@ import (
 
 	"disco/internal/graph"
 	"disco/internal/overlay"
+	"disco/internal/parallel"
 	"disco/internal/pathvector"
 	"disco/internal/sim"
 	"disco/internal/sloppy"
@@ -60,32 +61,24 @@ func runPV(g *graph.Graph, cfg pathvector.Config) (int64, *pathvector.Protocol) 
 
 // Fig8Convergence reproduces Fig. 8 on G(n,m) graphs of the given sizes.
 // Full path vector is simulated up to pvCap nodes and linearly extrapolated
-// beyond, exactly as the paper does beyond 512 nodes.
+// beyond, exactly as the paper does beyond 512 nodes. The per-size
+// convergence simulations are independent (each draws from fixed per-size
+// seeds), so the sizes fan out over the worker pool; only the PV
+// extrapolation — which chains size results — runs serially afterwards,
+// in size order, making the output identical at any worker count.
 func Fig8Convergence(sizes []int, pvCap int, seed int64) *Fig8Result {
 	res := &Fig8Result{}
-	type pvSample struct {
-		n       int
-		perNode float64
-	}
-	var pvSamples []pvSample
-
-	for _, n := range sizes {
+	points := parallel.Map(len(sizes), func(i int) Fig8Point {
+		n := sizes[i]
 		g := BuildTopo(TopoGnm, n, seed)
 		env := staticEnv(g, seed)
 		k := vicinity.DefaultK(n)
 		pt := Fig8Point{N: n}
 
-		// Full path vector.
+		// Full path vector (small sizes only; extrapolated below).
 		if n <= pvCap {
 			msgs, _ := runPV(g, pathvector.Config{Mode: pathvector.ModeFull})
 			pt.PathVector = float64(msgs) / float64(n)
-			pvSamples = append(pvSamples, pvSample{n: n, perNode: pt.PathVector})
-		} else if len(pvSamples) >= 2 {
-			a := pvSamples[len(pvSamples)-2]
-			b := pvSamples[len(pvSamples)-1]
-			slope := (b.perNode - a.perNode) / float64(b.n-a.n)
-			pt.PathVector = b.perNode + slope*float64(n-b.n)
-			pt.PVExtrapolated = true
 		}
 
 		// S4: landmark flood then cluster-scoped flood.
@@ -115,7 +108,27 @@ func Fig8Convergence(sizes []int, pvCap int, seed int64) *Fig8Result {
 		}
 		pt.Disco1 = pt.NDDisco + extra(1, seed+11)
 		pt.Disco3 = pt.NDDisco + extra(3, seed+13)
+		return pt
+	})
 
+	// Serial pass in size order: extrapolate PV from the last two
+	// simulated sizes, exactly as the serial loop did.
+	type pvSample struct {
+		n       int
+		perNode float64
+	}
+	var pvSamples []pvSample
+	for i := range points {
+		pt := points[i]
+		if pt.N <= pvCap {
+			pvSamples = append(pvSamples, pvSample{n: pt.N, perNode: pt.PathVector})
+		} else if len(pvSamples) >= 2 {
+			a := pvSamples[len(pvSamples)-2]
+			b := pvSamples[len(pvSamples)-1]
+			slope := (b.perNode - a.perNode) / float64(b.n-a.n)
+			pt.PathVector = b.perNode + slope*float64(pt.N-b.n)
+			pt.PVExtrapolated = true
+		}
 		res.Points = append(res.Points, pt)
 	}
 	return res

@@ -9,6 +9,7 @@ import (
 	"disco/internal/graph"
 	"disco/internal/metrics"
 	"disco/internal/names"
+	"disco/internal/parallel"
 	"disco/internal/pathvector"
 	"disco/internal/sim"
 	"disco/internal/sloppy"
@@ -186,29 +187,39 @@ func (r *ErrorResult) Format() string {
 // EstimateError reproduces the robustness experiment: inject uniform
 // random error into every node's estimate of n, rebuild the sloppy
 // grouping, and measure (a) how many (node, group) pairs lost their
-// vicinity resolver and (b) the change in mean first-packet stretch.
+// vicinity resolver and (b) the change in mean first-packet stretch. All
+// PRNG draws (pair sample, error injection) happen serially up front, per
+// the parallel.TaskSeed rule; the pair sweeps and the miss scan then fan
+// out over the worker pool on snapshot-backed forks, with sums reduced in
+// task order, so the result is identical at any worker count.
 func EstimateError(n int, seed int64, errFrac float64, pairs int) *ErrorResult {
 	g := BuildTopo(TopoGnm, n, seed)
 
+	// Serial up-front draws.
+	basePairs := metrics.SamplePairs(rand.New(rand.NewSource(seed+6000)), n, pairs)
+	est := estimate.InjectError(rand.New(rand.NewSource(seed+6001)), n, errFrac)
+
 	baseEnv := static.NewEnv(g, seed)
 	base := core.NewDisco(baseEnv, core.WithSeed(seed))
-	basePairs := metrics.SamplePairs(rand.New(rand.NewSource(seed+6000)), n, pairs)
-	baseMean := meanFirstStretch(base, basePairs)
+	installSnapshot(base)
+	baseMean, _ := meanFirstStretch(base, basePairs)
 
-	est := estimate.InjectError(rand.New(rand.NewSource(seed+6001)), n, errFrac)
 	env := static.NewEnv(g, seed, static.WithNEst(est))
 	d := core.NewDisco(env, core.WithSeed(seed))
+	installSnapshot(d)
 
 	// Miss scan: for every node s and every group id under s's own k, is
-	// there a vicinity member w whose (mutual) group matches?
+	// there a vicinity member w whose (mutual) group matches? Integer
+	// tallies merge order-independently across workers.
 	view := d.View
-	misses, checked := 0, 0
-	for s := 0; s < n; s++ {
+	type missCount struct{ misses, checked int }
+	perNode := parallel.MapScratch(n, d.ND.Fork, func(nd *core.NDDisco, s int) missCount {
 		sv := graph.NodeID(s)
 		ks := view.KOf(sv)
-		vs := d.ND.Vicinity(sv)
+		vs := nd.Vicinity(sv)
+		var mc missCount
 		for gid := uint64(0); gid < 1<<uint(ks); gid++ {
-			checked++
+			mc.checked++
 			found := false
 			for _, e := range vs.Entries {
 				if sloppy.GroupID(env.Hashes[e.Node], ks) == gid {
@@ -217,14 +228,18 @@ func EstimateError(n int, seed int64, errFrac float64, pairs int) *ErrorResult {
 				}
 			}
 			if !found {
-				misses++
+				mc.misses++
 			}
 		}
+		return mc
+	})
+	misses, checked := 0, 0
+	for _, mc := range perNode {
+		misses += mc.misses
+		checked += mc.checked
 	}
 
-	d.ResetCounters()
-	errMean := meanFirstStretch(d, basePairs)
-	fb, _ := d.Fallbacks()
+	errMean, fb := meanFirstStretch(d, basePairs)
 	return &ErrorResult{
 		N:           n,
 		ErrFrac:     errFrac,
@@ -237,19 +252,38 @@ func EstimateError(n int, seed int64, errFrac float64, pairs int) *ErrorResult {
 	}
 }
 
-func meanFirstStretch(d *core.Disco, ps []metrics.Pair) float64 {
+// meanFirstStretch computes the mean first-packet stretch over ps on the
+// worker pool, plus the total landmark-DB fallback count. The float sum
+// reduces in pair order; fallback counters sum over forks
+// (order-independent integers).
+func meanFirstStretch(d *core.Disco, ps []metrics.Pair) (mean float64, fallbacks int) {
 	g := d.Env().G
-	total, count := 0.0, 0
-	for _, pr := range ps {
-		s, t := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
-		short := d.ND.ShortestDist(s, t)
+	type sample struct {
+		ok bool
+		st float64
+	}
+	samples := make([]sample, len(ps))
+	forks := parallel.RunGather(len(ps), d.Fork, func(f *core.Disco, i int) {
+		s, t := graph.NodeID(ps[i].Src), graph.NodeID(ps[i].Dst)
+		short := f.ND.ShortestDist(s, t)
 		if short == 0 {
+			return
+		}
+		samples[i] = sample{ok: true, st: g.PathLength(f.FirstRoute(s, t, core.ShortcutNoPathKnowledge)) / short}
+	})
+	total, count := 0.0, 0
+	for _, sm := range samples {
+		if !sm.ok {
 			continue
 		}
-		total += g.PathLength(d.FirstRoute(s, t, core.ShortcutNoPathKnowledge)) / short
+		total += sm.st
 		count++
 	}
-	return total / float64(count)
+	for _, f := range forks {
+		fb, _ := f.Fallbacks()
+		fallbacks += fb
+	}
+	return total / float64(count), fallbacks
 }
 
 // ResolveImbalanceResult is the §4.5 consistent-hashing load-balance

@@ -9,6 +9,7 @@ import (
 	"disco/internal/graph"
 	"disco/internal/metrics"
 	"disco/internal/parallel"
+	"disco/internal/pathtree"
 )
 
 // Fig9Point is one network size's measurement in the scaling sweep.
@@ -50,16 +51,19 @@ func Fig9Scaling(sizes []int, seed int64, pairs int) *Fig9Result {
 	res := &Fig9Result{}
 	for _, n := range sizes {
 		p := BuildProtocols(TopoGeometric, n, seed)
+		p.EnsureSnapshot()
 		pt := Fig9Point{N: n}
 
 		ps := metrics.SamplePairs(rand.New(rand.NewSource(seed+4000)), n, pairs)
 		g := p.Env.G
-		// Per-pair stretch fans out over the worker pool (forked data
-		// planes); the float sums reduce in pair order below, so the
-		// means are identical at any worker count.
+		// Per-pair stretch fans out over the worker pool (forks sharing
+		// the snapshot plus one destination-tree scratch per worker); the
+		// float sums reduce in pair order below, so the means are
+		// identical at any worker count.
 		samples := parallel.MapScratch(len(ps),
 			func() *stretchScratch {
-				return &stretchScratch{d: p.Disco.Fork(), s4: p.S4.Fork()}
+				dest := pathtree.NewLazy(g)
+				return &stretchScratch{d: p.Disco.ForkWith(dest), s4: p.S4.ForkWith(dest)}
 			},
 			func(sc *stretchScratch, i int) stretchSample {
 				s, t := graph.NodeID(ps[i].Src), graph.NodeID(ps[i].Dst)

@@ -1,0 +1,47 @@
+package eval
+
+import "testing"
+
+// TestSnapshotEquivalence is the refactor's safety net: every figure
+// experiment must produce byte-identical output whether routing runs on
+// the shared immutable snapshot (the default) or on the legacy per-fork
+// lazy caches. Sizes are scaled down; the paths exercised are the same
+// ones the full sizes use.
+func TestSnapshotEquivalence(t *testing.T) {
+	cases := []struct {
+		name  string
+		short bool // keep in -short runs
+		run   func() string
+	}{
+		{"Fig2State", true, func() string { return Fig2State(TopoGnm, 192, 1).Format() }},
+		{"Fig3Stretch", true, func() string { return Fig3Stretch(TopoGeometric, 192, 3, 60).Format() }},
+		{"Fig45", true, func() string { return Fig45(TopoGnm, 128, 4, 40).Format() }},
+		{"Fig6Shortcuts", false, func() string {
+			return Fig6Shortcuts([]Fig6Spec{
+				{Label: "gnm-128", Kind: TopoGnm, N: 128},
+				{Label: "geo-128", Kind: TopoGeometric, N: 128},
+			}, 5, 40).Format()
+		}},
+		{"Fig7StateBytes", false, func() string { return Fig7StateBytes(256, 6).Format() }},
+		{"Fig9Scaling", false, func() string { return Fig9Scaling([]int{128, 192}, 8, 40).Format() }},
+		{"Fig10ASCongestion", false, func() string { return Fig10ASCongestion(192, 9).Format() }},
+		{"LandmarkStrategies", false, func() string { return LandmarkStrategies(TopoASLike, 192, 15, 40).Format() }},
+		{"EstimateError", true, func() string { return EstimateError(192, 11, 0.4, 40).Format() }},
+	}
+	defer SetSnapshotBacked(true)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && !tc.short {
+				t.Skip("short mode: covered by the full run")
+			}
+			SetSnapshotBacked(true)
+			snap := tc.run()
+			SetSnapshotBacked(false)
+			legacy := tc.run()
+			SetSnapshotBacked(true)
+			if snap != legacy {
+				t.Errorf("output differs between snapshot-backed and legacy cache paths:\n--- snapshot ---\n%s--- legacy ---\n%s", snap, legacy)
+			}
+		})
+	}
+}

@@ -53,13 +53,15 @@ func Fig2State(kind TopoKind, n int, seed int64) *StateResult {
 }
 
 // StateWithVRR extends the state comparison with VRR and path vector (the
-// left panels of Figs. 4 and 5, 1,024-node topologies).
-func StateWithVRR(p *Protocols, seed int64) *StateResult {
+// left panels of Figs. 4 and 5, 1,024-node topologies). The VRR instance
+// is the memoized sealed build; its entry counts read off the flat offset
+// arrays.
+func StateWithVRR(p *Protocols, kind TopoKind, seed int64) *StateResult {
 	ndE, dE, _, _ := p.Disco.StateVectors()
 	s4E := p.S4.StateEntries(p.S4.ClusterSizesAll())
 	v := p.VRR(seed)
 	return &StateResult{
-		Kind:   "",
+		Kind:   kind,
 		N:      p.Env.N(),
 		Labels: []string{"Disco", "ND-Disco", "S4", "VRR", "Path-vector"},
 		CDFs: []*metrics.CDF{

@@ -9,6 +9,7 @@ import (
 	"disco/internal/graph"
 	"disco/internal/metrics"
 	"disco/internal/parallel"
+	"disco/internal/pathtree"
 	"disco/internal/s4"
 	"disco/internal/vrr"
 )
@@ -85,19 +86,24 @@ func stretchOver(p *Protocols, kind TopoKind, seed int64, pairs int, withVRR boo
 	n := p.Env.N()
 	ps := metrics.SamplePairs(rand.New(rand.NewSource(seed+1000)), n, pairs)
 	g := p.Env.G
+	p.EnsureSnapshot()
 
 	var vr *vrr.VRR
 	if withVRR {
 		vr = p.VRR(seed)
 	}
 	// Fan the per-pair route computations out over the worker pool. Each
-	// worker forks the data planes (shared converged state, private
-	// caches); routes are pure functions of the environment, so the
-	// samples — and hence the CDFs — are identical at any worker count.
+	// worker forks the data planes, which share the precomputed snapshot
+	// (vicinities, landmark trees) and one destination-tree scratch per
+	// worker, so the Dijkstra for a pair's stretch denominator is reused
+	// by every protocol routing that pair. Routes are pure functions of
+	// the environment, so the samples — and hence the CDFs — are
+	// identical at any worker count.
 	samples := make([]stretchSample, len(ps))
 	forks := parallel.RunGather(len(ps),
 		func() *stretchScratch {
-			sc := &stretchScratch{d: p.Disco.Fork(), s4: p.S4.Fork()}
+			dest := pathtree.NewLazy(g)
+			sc := &stretchScratch{d: p.Disco.ForkWith(dest), s4: p.S4.ForkWith(dest)}
 			if withVRR {
 				sc.vr = vr.Fork()
 			}
@@ -217,15 +223,16 @@ func Fig6Shortcuts(specs []Fig6Spec, seed int64, pairs int) *Fig6Result {
 	for _, sp := range specs {
 		res.Topos = append(res.Topos, sp.Label)
 		p := BuildProtocols(sp.Kind, sp.N, seed)
+		p.EnsureSnapshot()
 		cols = append(cols, sampled{
 			nd:    p.Disco.ND,
 			pairs: metrics.SamplePairs(rand.New(rand.NewSource(seed+2000)), sp.N, pairs),
 		})
 	}
 	// One parallel sweep per column; each pair task evaluates all six
-	// heuristics against one worker-private fork, so a worker's vicinity
-	// cache is reused across heuristics. Per-heuristic means then reduce
-	// in pair order, exactly as the serial loops did.
+	// heuristics against one worker-private fork of the shared snapshot.
+	// Per-heuristic means then reduce in pair order, exactly as the serial
+	// loops did.
 	nSC := len(core.AllShortcuts)
 	colMeans := make([][]float64, len(cols)) // [col][heuristic]
 	for ci, col := range cols {

@@ -6,6 +6,7 @@ import (
 
 	"disco/internal/graph"
 	"disco/internal/metrics"
+	"disco/internal/parallel"
 	"disco/internal/tzk"
 )
 
@@ -39,14 +40,25 @@ func (r *TradeoffResult) Format() string {
 	return out
 }
 
+// tradeoffSeedBase offsets the per-k TaskSeed streams away from the pair
+// sample's (seed+8000) stream.
+const tradeoffSeedBase = 8100
+
 // TradeoffSweep builds the TZ scheme for each k and measures mean/max
-// state and stretch over sampled pairs.
+// state and stretch over sampled pairs. The pair sample is drawn serially
+// up front; each k's level sampling uses a private parallel.TaskSeed
+// stream, so the per-pair stretch sweep inside each k runs through the
+// worker pool on scheme forks with bit-identical output at any worker
+// count. The outer k loop stays serial: nesting two pool fan-outs would
+// multiply concurrency past the -workers bound.
 func TradeoffSweep(kind TopoKind, n int, ks []int, seed int64, pairs int) *TradeoffResult {
 	g := BuildTopo(kind, n, seed)
+	g.Finalize()
 	ps := metrics.SamplePairs(rand.New(rand.NewSource(seed+8000)), n, pairs)
 	res := &TradeoffResult{N: n, Kind: kind}
-	for _, k := range ks {
-		s := tzk.New(g, k, rand.New(rand.NewSource(seed+int64(100*k))))
+	for ki := range ks {
+		k := ks[ki]
+		s := tzk.New(g, k, parallel.TaskRNG(seed+tradeoffSeedBase, ki))
 		pt := TradeoffPoint{K: k, StretchBound: 2*k - 1}
 		entries := s.StateEntries()
 		tot := 0
@@ -57,18 +69,27 @@ func TradeoffSweep(kind TopoKind, n int, ks []int, seed int64, pairs int) *Trade
 			}
 		}
 		pt.MeanState = float64(tot) / float64(n)
-		sum, cnt := 0.0, 0
-		for _, pr := range ps {
-			u, v := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
-			true_ := s.TrueDist(u, v)
+		type sample struct {
+			ok bool
+			st float64
+		}
+		samples := parallel.MapScratch(len(ps), s.Fork, func(f *tzk.Scheme, i int) sample {
+			u, v := graph.NodeID(ps[i].Src), graph.NodeID(ps[i].Dst)
+			true_ := f.TrueDist(u, v)
 			if true_ == 0 {
+				return sample{}
+			}
+			return sample{ok: true, st: g.PathLength(f.Route(u, v)) / true_}
+		})
+		sum, cnt := 0.0, 0
+		for _, sm := range samples {
+			if !sm.ok {
 				continue
 			}
-			st := g.PathLength(s.Route(u, v)) / true_
-			sum += st
+			sum += sm.st
 			cnt++
-			if st > pt.MaxStretch {
-				pt.MaxStretch = st
+			if sm.st > pt.MaxStretch {
+				pt.MaxStretch = sm.st
 			}
 		}
 		pt.MeanStretch = sum / float64(cnt)

@@ -1,11 +1,17 @@
-// Package pathtree provides cached full shortest-path trees. Every
-// protocol's evaluation needs the same two primitives — the true distance
-// d(s,t) as the stretch denominator, and materialized shortest paths to
-// landmarks / resolution owners — and trees are O(n) memory each, so a
-// shared capped cache keeps large-topology evaluations affordable.
+// Package pathtree provides shortest-path tree views in three flavours:
+// materialized full trees with a capped per-worker Cache (the historical
+// path), a zero-materialization Lazy view over reusable Dijkstra scratch
+// for roots that are queried once and never again (stretch denominators,
+// per-pair destination trees), and a concurrency-safe Shared bank for
+// rarely-needed roots that forks of one protocol instance want to compute
+// at most once across all workers (VRR dead-end recovery).
 package pathtree
 
-import "disco/internal/graph"
+import (
+	"sync"
+
+	"disco/internal/graph"
+)
 
 // Tree is a full single-source shortest-path tree.
 type Tree struct {
@@ -95,4 +101,115 @@ func (c *Cache) Cap() int { return c.cap }
 func (c *Cache) Reset() {
 	c.trees = make(map[graph.NodeID]*Tree)
 	c.order = nil
+}
+
+// Lazy is a single-root shortest-path view backed by one reusable SSSP
+// scratch: Bind(root) runs Dijkstra only when the root changes, and queries
+// read the scratch directly, so no per-root Tree is ever materialized. It
+// fits roots that are queried in runs (one destination per sampled pair)
+// where a Cache would allocate O(n) per root for a single lookup. Not safe
+// for concurrent use; one per worker, shareable between the protocol forks
+// of that worker so they reuse each other's Dijkstra runs.
+type Lazy struct {
+	s     *graph.SSSP
+	root  graph.NodeID
+	bound bool
+}
+
+// NewLazy returns a lazy view over g with no root bound yet.
+func NewLazy(g *graph.Graph) *Lazy {
+	return &Lazy{s: graph.NewSSSP(g), root: graph.None}
+}
+
+// Bind makes root the current tree root, running one full Dijkstra if the
+// root actually changed.
+func (l *Lazy) Bind(root graph.NodeID) {
+	if l.bound && l.root == root {
+		return
+	}
+	l.s.Run(root)
+	l.root = root
+	l.bound = true
+}
+
+// Root returns the currently bound root (graph.None before the first Bind).
+func (l *Lazy) Root() graph.NodeID {
+	if !l.bound {
+		return graph.None
+	}
+	return l.root
+}
+
+// Dist returns d(root, v) for the bound root (+Inf if unreachable).
+func (l *Lazy) Dist(v graph.NodeID) float64 { return l.s.Dist(v) }
+
+// Parent returns v's predecessor toward the bound root, or graph.None.
+func (l *Lazy) Parent(v graph.NodeID) graph.NodeID { return l.s.Parent(v) }
+
+// PathFrom returns v ⇝ root for the bound root (cf. Tree.PathFrom).
+func (l *Lazy) PathFrom(v graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for u := v; u != graph.None; u = l.s.Parent(u) {
+		out = append(out, u)
+	}
+	return out
+}
+
+// PathTo returns root ⇝ v for the bound root (cf. Tree.PathTo).
+func (l *Lazy) PathTo(v graph.NodeID) []graph.NodeID {
+	return l.s.PathTo(v)
+}
+
+// Shared is a concurrency-safe memoizing tree bank: the first caller to ask
+// for a root computes the tree, every later caller (on any goroutine) gets
+// the same materialized tree. Trees are pure functions of the graph, so a
+// benign double-compute under contention yields identical values. Use it
+// for rarely-hit roots that all forks of one instance should pay for at
+// most once (e.g. VRR's greedy dead-end recovery); for per-pair roots use
+// Lazy instead, since Shared retains every tree it ever built.
+type Shared struct {
+	g  *graph.Graph
+	mu sync.RWMutex
+	m  map[graph.NodeID]*Tree
+}
+
+// NewShared returns an empty bank over g.
+func NewShared(g *graph.Graph) *Shared {
+	return &Shared{g: g, m: make(map[graph.NodeID]*Tree)}
+}
+
+// Tree returns the shortest-path tree rooted at root, computing it at most
+// once per bank (modulo benign races).
+func (b *Shared) Tree(root graph.NodeID) *Tree {
+	b.mu.RLock()
+	t := b.m[root]
+	b.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	// Compute outside the lock: misses are rare and a stall here would
+	// serialize every worker behind one Dijkstra.
+	s := graph.NewSSSP(b.g)
+	s.Run(root)
+	n := b.g.N()
+	t = &Tree{Root: root, dist: make([]float64, n), parent: make([]graph.NodeID, n)}
+	for v := 0; v < n; v++ {
+		t.dist[v] = s.Dist(graph.NodeID(v))
+		t.parent[v] = s.Parent(graph.NodeID(v))
+	}
+	b.mu.Lock()
+	if prev, ok := b.m[root]; ok {
+		t = prev // lost the race; keep the first tree so pointers stay stable
+	} else {
+		b.m[root] = t
+	}
+	b.mu.Unlock()
+	return t
+}
+
+// Len returns the number of banked trees.
+func (b *Shared) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.m)
 }

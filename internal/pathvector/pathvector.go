@@ -103,6 +103,53 @@ func New(g *graph.Graph, eng *sim.Engine, cfg Config) *Protocol {
 	return p
 }
 
+// Clone returns a deep copy of a quiesced protocol instance bound to a
+// fresh engine: the routing tables (candidates, best routes, vicinity
+// membership) are copied so the clone can diverge, while the immutable
+// path slices inside routes are shared — announcements always build fresh
+// paths, so shared slices are never written through. Cloning a converged
+// instance replaces re-running initial convergence per churn trial with an
+// O(state) copy; Clone may be called concurrently from multiple workers
+// (it only reads p). It panics if p still has scheduled sends, since those
+// would be lost in the engine swap.
+func (p *Protocol) Clone(eng *sim.Engine) *Protocol {
+	c := &Protocol{g: p.g, eng: eng, cfg: p.cfg}
+	c.nodes = make([]*node, len(p.nodes))
+	for i, nd := range p.nodes {
+		if nd.sendScheduled || len(nd.dirty) > 0 {
+			panic("pathvector: Clone of a non-quiesced instance")
+		}
+		cn := &node{
+			id:    nd.id,
+			cand:  make(map[graph.NodeID]map[graph.NodeID]route, len(nd.cand)),
+			best:  make(map[graph.NodeID]route, len(nd.best)),
+			vic:   make(map[graph.NodeID]bool, len(nd.vic)),
+			dirty: make(map[graph.NodeID]bool),
+		}
+		for dst, m := range nd.cand {
+			mm := make(map[graph.NodeID]route, len(m))
+			for via, r := range m {
+				mm[via] = r
+			}
+			cn.cand[dst] = mm
+		}
+		for dst, r := range nd.best {
+			cn.best[dst] = r
+		}
+		for v := range nd.vic {
+			cn.vic[v] = true
+		}
+		c.nodes[i] = cn
+	}
+	if p.dead != nil {
+		c.dead = make(map[uint64]bool, len(p.dead))
+		for k, v := range p.dead {
+			c.dead[k] = v
+		}
+	}
+	return c
+}
+
 // Start seeds every node's route to itself and schedules the initial
 // announcements.
 func (p *Protocol) Start() {

@@ -14,15 +14,24 @@ import (
 	"disco/internal/parallel"
 	"disco/internal/pathtree"
 	"disco/internal/resolve"
+	"disco/internal/snapshot"
 	"disco/internal/static"
 )
 
 // S4 is the converged S4 data plane over a shared environment (same
-// landmark set and names as Disco, making comparisons direct).
+// landmark set and names as Disco, making comparisons direct). Like
+// core.NDDisco it has two cache regimes: private lazy tree caches
+// (legacy), or a shared immutable snapshot (UseSnapshot) whose landmark
+// trees — the same trees Disco shares — serve every landmark-rooted read,
+// with a per-fork Dijkstra scratch for destination-rooted queries.
 type S4 struct {
-	Env   *static.Env
-	DB    *resolve.DB
-	trees *pathtree.Cache
+	Env *static.Env
+	DB  *resolve.DB
+
+	snap *snapshot.Snapshot
+	dest *pathtree.Lazy
+
+	trees *pathtree.Cache // legacy regime only
 }
 
 // New builds the S4 instance. vnodes is the number of hash functions in the
@@ -35,12 +44,36 @@ func New(env *static.Env, vnodes int) *S4 {
 	}
 }
 
+// UseSnapshot switches s (and every future fork) to the shared immutable
+// snapshot for landmark-rooted tree reads.
+func (s *S4) UseSnapshot(sn *snapshot.Snapshot) {
+	s.snap = sn
+	s.dest = pathtree.NewLazy(s.Env.G)
+}
+
 // Fork returns a concurrency view of s for one worker of a parallel
-// sweep: the environment and resolution DB are shared read-only; only the
-// lazy shortest-path-tree cache is private. Forked instances route
-// concurrently and return exactly the routes the original would.
-func (s *S4) Fork() *S4 {
+// sweep: the environment, resolution DB and (when installed) the snapshot
+// are shared read-only; only the destination-tree scratch (snapshot
+// regime) or the lazy tree cache (legacy) is private. Forked instances
+// route concurrently and return exactly the routes the original would.
+func (s *S4) Fork() *S4 { return s.ForkWith(nil) }
+
+// ForkWith is Fork with a caller-supplied destination-tree scratch shared
+// between the protocol forks of one worker (see core.NDDisco.ForkWith).
+func (s *S4) ForkWith(dest *pathtree.Lazy) *S4 {
+	if s.snap != nil {
+		if dest == nil {
+			dest = pathtree.NewLazy(s.Env.G)
+		}
+		return &S4{Env: s.Env, DB: s.DB, snap: s.snap, dest: dest}
+	}
 	return &S4{Env: s.Env, DB: s.DB, trees: pathtree.NewCache(s.Env.G, s.trees.Cap())}
+}
+
+// tree returns the fork's tree view (the shared regime-dispatch rule in
+// internal/snapshot).
+func (s *S4) tree() snapshot.TreeView {
+	return snapshot.TreeView{Snap: s.snap, Dest: s.dest, Cache: s.trees}
 }
 
 // InCluster reports whether t is in v's cluster: d(v,t) < d(t, l_t).
@@ -51,11 +84,11 @@ func (s *S4) InCluster(v, t graph.NodeID) bool {
 	if v == t {
 		return true
 	}
-	return s.trees.Tree(t).Dist(v) < s.Env.LMDist[t]
+	return s.tree().Dist(t, v) < s.Env.LMDist[t]
 }
 
 // ShortestDist returns d(s,t) for stretch computation.
-func (s *S4) ShortestDist(a, b graph.NodeID) float64 { return s.trees.Tree(b).Dist(a) }
+func (s *S4) ShortestDist(a, b graph.NodeID) float64 { return s.tree().Dist(b, a) }
 
 // RouteLen returns the weighted length of a node path.
 func (s *S4) RouteLen(p []graph.NodeID) float64 { return s.Env.G.PathLength(p) }
@@ -69,7 +102,7 @@ func (s *S4) LaterRoute(src, t graph.NodeID) []graph.NodeID {
 	if direct := s.directRoute(src, t); direct != nil {
 		return direct
 	}
-	return s.walkToDest(s.trees.Tree(s.Env.AddrOf(t).Landmark).PathFrom(src), t)
+	return s.walkToDest(s.tree().PathFrom(s.Env.AddrOf(t).Landmark, src), t)
 }
 
 // FirstRoute returns the first packet's route: S4 must first resolve t's
@@ -81,7 +114,7 @@ func (s *S4) FirstRoute(src, t graph.NodeID) []graph.NodeID {
 		return direct
 	}
 	owner := s.DB.OwnerOf(s.Env.HashOf(t))
-	toOwner := s.trees.Tree(owner).PathFrom(src)
+	toOwner := s.tree().PathFrom(owner, src)
 	rest := s.LaterRoute(owner, t)
 	return joinTrim(toOwner, rest)
 }
@@ -93,7 +126,7 @@ func (s *S4) directRoute(src, t graph.NodeID) []graph.NodeID {
 	if s.Env.IsLM[src] || s.Env.IsLM[t] || s.InCluster(src, t) {
 		// Landmarks reach everyone via the landmark flood's reverse tree;
 		// every node reaches landmarks and its cluster directly.
-		return s.trees.Tree(t).PathFrom(src)
+		return s.tree().PathFrom(t, src)
 	}
 	return nil
 }
@@ -102,20 +135,19 @@ func (s *S4) directRoute(src, t graph.NodeID) []graph.NodeID {
 // at the first node whose cluster contains t (To-Destination, S4's
 // built-in shortcut).
 func (s *S4) walkToDest(route []graph.NodeID, t graph.NodeID) []graph.NodeID {
-	tt := s.trees.Tree(t)
 	for i, u := range route {
 		if u == t {
 			return append([]graph.NodeID(nil), route[:i+1]...)
 		}
 		if s.InCluster(u, t) || s.Env.IsLM[u] {
-			direct := tt.PathFrom(u) // u ⇝ t
+			direct := s.tree().PathFrom(t, u) // u ⇝ t
 			return append(append([]graph.NodeID(nil), route[:i]...), direct...)
 		}
 	}
 	// Reached l_t without diverting: follow the label's first hop; the
 	// next node's cluster must contain t (d(u1,t) < d(t,l_t)).
 	last := route[len(route)-1]
-	direct := tt.PathFrom(last)
+	direct := s.tree().PathFrom(t, last)
 	return append(append([]graph.NodeID(nil), route[:len(route)-1]...), direct...)
 }
 
@@ -135,13 +167,12 @@ func joinTrim(p1, p2 []graph.NodeID) []graph.NodeID {
 // of nodes strictly closer to v than to their own landmark. Used for
 // sampled state on large topologies.
 func (s *S4) ClusterSize(v graph.NodeID) int {
-	tv := s.trees.Tree(v)
 	count := 0
 	for w := 0; w < s.Env.N(); w++ {
 		if graph.NodeID(w) == v {
 			continue
 		}
-		if tv.Dist(graph.NodeID(w)) < s.Env.LMDist[w] {
+		if s.tree().Dist(v, graph.NodeID(w)) < s.Env.LMDist[w] {
 			count++
 		}
 	}

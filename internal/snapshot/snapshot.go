@@ -1,0 +1,238 @@
+// Package snapshot precomputes, once and in parallel, the immutable
+// read-only route state that every experiment used to re-derive per worker:
+// vicinity sets and landmark-rooted shortest-path trees (which also serve
+// the resolution owners — owners are landmarks). A Snapshot is built after
+// the environment converges and never mutated; protocol Fork() views share
+// it by pointer, so worker-private state shrinks to counters and small
+// scratch buffers instead of private vicinity maps and tree caches.
+//
+// Layout is flat and index-addressed: all vicinity entries live in one
+// contiguous []vicinity.Entry with per-node offsets (replacing
+// map[graph.NodeID]*vicinity.Set), and landmark trees are parent rows in
+// one contiguous []graph.NodeID (PathFrom/PathTo need only parents; exact
+// distances for arbitrary roots stay with the callers' Dijkstra scratch,
+// keeping the snapshot at Θ(√(n log n)) bytes per node). Reads allocate
+// nothing beyond the returned path slices.
+//
+// Immutability contract: everything reachable from a Snapshot is read-only
+// after Build returns. Callers must not modify returned sets, entries or
+// paths-backing arrays; Vicinity returns pointers into shared storage.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+
+	"disco/internal/graph"
+	"disco/internal/pathtree"
+	"disco/internal/vicinity"
+)
+
+// Snapshot is the shared immutable route state of one converged
+// environment: the vicinity table of every node and the shortest-path
+// forest rooted at every landmark.
+type Snapshot struct {
+	g *graph.Graph
+	k int // vicinity size actually built (clamped to n)
+
+	// Flat vicinity table: node v's entries are entries[off[v]:off[v+1]],
+	// sorted by member ID. sets[v] is the ready-made Set view over that
+	// window.
+	entries []vicinity.Entry
+	off     []int
+	sets    []vicinity.Set
+
+	// Landmark forest: parents[row*n : (row+1)*n] is the parent array of
+	// the tree rooted at landmarks[row]; lmRow maps a node to its row, or
+	// -1 when the node is not a landmark.
+	landmarks []graph.NodeID
+	lmRow     []int32
+	parents   []graph.NodeID
+}
+
+// Build computes the snapshot for graph g with vicinity size k and the
+// given landmark set, fanning both sweeps out over the parallel worker
+// pool. Each task writes only its own entry window / tree row, so the
+// result is identical at any worker count. The graph must be connected.
+func Build(g *graph.Graph, k int, landmarks []graph.NodeID) *Snapshot {
+	g.Finalize()
+	n := g.N()
+	if k > n {
+		k = n
+	}
+	s := &Snapshot{
+		g:         g,
+		k:         k,
+		entries:   make([]vicinity.Entry, n*k),
+		off:       make([]int, n+1),
+		sets:      make([]vicinity.Set, n),
+		landmarks: landmarks,
+		lmRow:     make([]int32, n),
+		parents:   make([]graph.NodeID, len(landmarks)*n),
+	}
+	for v := 0; v <= n; v++ {
+		s.off[v] = v * k
+	}
+
+	// Vicinities: one truncated Dijkstra per node into its own window of
+	// the flat table, then sort the window by member ID (the Set order).
+	graph.ForEachSource(g, graph.AllNodes(g), func(sp *graph.SSSP, i int, src graph.NodeID) {
+		sp.RunK(src, k)
+		order := sp.Order()
+		if len(order) != k {
+			panic(fmt.Sprintf("snapshot: vicinity of %d settled %d of %d nodes (graph disconnected?)", src, len(order), k))
+		}
+		win := s.entries[s.off[i]:s.off[i+1]]
+		for j, w := range order {
+			win[j] = vicinity.Entry{Node: w, Parent: sp.Parent(w), Dist: sp.Dist(w)}
+		}
+		sort.Slice(win, func(a, b int) bool { return win[a].Node < win[b].Node })
+		s.sets[i] = vicinity.MakeSet(src, win)
+	})
+
+	// Landmark forest: one full Dijkstra per landmark into its parent row.
+	for v := range s.lmRow {
+		s.lmRow[v] = -1
+	}
+	for row, lm := range landmarks {
+		s.lmRow[lm] = int32(row)
+	}
+	graph.ForEachSource(g, landmarks, func(sp *graph.SSSP, row int, lm graph.NodeID) {
+		sp.Run(lm)
+		prow := s.parents[row*n : (row+1)*n]
+		for v := 0; v < n; v++ {
+			prow[v] = sp.Parent(graph.NodeID(v))
+		}
+	})
+	return s
+}
+
+// K returns the vicinity size the table was built with (clamped to n).
+func (s *Snapshot) K() int { return s.k }
+
+// Graph returns the graph the snapshot was built over.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Landmarks returns the landmark set (shared slice; do not modify).
+func (s *Snapshot) Landmarks() []graph.NodeID { return s.landmarks }
+
+// Vicinity returns V(v) as a view into the shared flat table. The returned
+// set is immutable and safe for concurrent readers.
+func (s *Snapshot) Vicinity(v graph.NodeID) *vicinity.Set { return &s.sets[v] }
+
+// HasTree reports whether root is a landmark, i.e. whether the snapshot
+// holds its shortest-path tree.
+func (s *Snapshot) HasTree(root graph.NodeID) bool { return s.lmRow[root] >= 0 }
+
+// parentRow returns the parent array of root's tree; root must be a
+// landmark (check HasTree).
+func (s *Snapshot) parentRow(root graph.NodeID) []graph.NodeID {
+	row := s.lmRow[root]
+	if row < 0 {
+		panic(fmt.Sprintf("snapshot: node %d is not a landmark", root))
+	}
+	n := s.g.N()
+	return s.parents[int(row)*n : (int(row)+1)*n]
+}
+
+// Parent returns v's predecessor on root's shortest-path tree
+// (graph.None for the root itself) — the data plane's first hop from v
+// toward root; root must be a landmark.
+func (s *Snapshot) Parent(root, v graph.NodeID) graph.NodeID {
+	return s.parentRow(root)[v]
+}
+
+// PathFrom returns v ⇝ root on root's shortest-path tree (both endpoints
+// included); root must be a landmark.
+func (s *Snapshot) PathFrom(root, v graph.NodeID) []graph.NodeID {
+	parent := s.parentRow(root)
+	var out []graph.NodeID
+	for u := v; u != graph.None; u = parent[u] {
+		out = append(out, u)
+	}
+	return out
+}
+
+// PathTo returns root ⇝ v on root's shortest-path tree; root must be a
+// landmark.
+func (s *Snapshot) PathTo(root, v graph.NodeID) []graph.NodeID {
+	out := s.PathFrom(root, v)
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// TreeView dispatches one protocol fork's shortest-path-tree reads
+// between the two cache regimes, so core.NDDisco and s4.S4 share a single
+// copy of the regime-selection rule. In the snapshot regime (Snap != nil)
+// landmark-rooted paths come from the shared parent rows and everything
+// else runs on the fork's reusable Dijkstra scratch; in the legacy regime
+// all reads go through the fork's materializing tree cache.
+type TreeView struct {
+	Snap  *Snapshot       // shared immutable state; nil in the legacy regime
+	Dest  *pathtree.Lazy  // per-fork destination scratch (snapshot regime)
+	Cache *pathtree.Cache // per-fork materializing cache (legacy regime)
+}
+
+// Dist returns d(root, v) from root's shortest-path tree.
+func (t TreeView) Dist(root, v graph.NodeID) float64 {
+	if t.Snap != nil {
+		t.Dest.Bind(root)
+		return t.Dest.Dist(v)
+	}
+	return t.Cache.Tree(root).Dist(v)
+}
+
+// PathFrom returns v ⇝ root on root's shortest-path tree.
+func (t TreeView) PathFrom(root, v graph.NodeID) []graph.NodeID {
+	if t.Snap != nil {
+		if t.Snap.HasTree(root) {
+			return t.Snap.PathFrom(root, v)
+		}
+		t.Dest.Bind(root)
+		return t.Dest.PathFrom(v)
+	}
+	return t.Cache.Tree(root).PathFrom(v)
+}
+
+// Parent returns v's predecessor on root's shortest-path tree.
+func (t TreeView) Parent(root, v graph.NodeID) graph.NodeID {
+	if t.Snap != nil {
+		if t.Snap.HasTree(root) {
+			return t.Snap.Parent(root, v)
+		}
+		t.Dest.Bind(root)
+		return t.Dest.Parent(v)
+	}
+	return t.Cache.Tree(root).Parent(v)
+}
+
+// PathTo returns root ⇝ v on root's shortest-path tree.
+func (t TreeView) PathTo(root, v graph.NodeID) []graph.NodeID {
+	if t.Snap != nil {
+		if t.Snap.HasTree(root) {
+			return t.Snap.PathTo(root, v)
+		}
+		t.Dest.Bind(root)
+		return t.Dest.PathTo(v)
+	}
+	return t.Cache.Tree(root).PathTo(v)
+}
+
+// Bytes returns the snapshot's backing-array footprint in bytes — the
+// shared cost that replaces every worker's private caches. Used by the
+// memory-regression benchmark and the -memprofile report.
+func (s *Snapshot) Bytes() int64 {
+	const (
+		entryBytes = 16 // vicinity.Entry: int32 + int32 + float64
+		nodeBytes  = 4  // graph.NodeID
+		setBytes   = 40 // vicinity.Set header: id + slice + radius
+		offBytes   = 8
+	)
+	return int64(len(s.entries))*entryBytes +
+		int64(len(s.off))*offBytes +
+		int64(len(s.sets))*setBytes +
+		int64(len(s.parents))*nodeBytes +
+		int64(len(s.lmRow))*4
+}

@@ -1,0 +1,125 @@
+package snapshot
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"disco/internal/graph"
+	"disco/internal/pathtree"
+	"disco/internal/static"
+	"disco/internal/topology"
+	"disco/internal/vicinity"
+)
+
+func buildEnv(t testing.TB, n int, seed int64) *static.Env {
+	t.Helper()
+	g := topology.GnmAvgDeg(rand.New(rand.NewSource(seed)), n, 8)
+	return static.NewEnv(g, seed)
+}
+
+// TestSnapshotMatchesLegacy pins the snapshot to the lazily computed
+// state it replaces: every vicinity set and every landmark-tree path must
+// be identical to what the per-instance caches produce.
+func TestSnapshotMatchesLegacy(t *testing.T) {
+	env := buildEnv(t, 192, 7)
+	k := vicinity.DefaultK(env.N())
+	s := Build(env.G, k, env.Landmarks)
+
+	if s.K() != k {
+		t.Fatalf("K: got %d want %d", s.K(), k)
+	}
+	for v := 0; v < env.N(); v++ {
+		want := vicinity.BuildOne(env.G, graph.NodeID(v), k)
+		got := s.Vicinity(graph.NodeID(v))
+		if got.Src != want.Src || got.Size() != want.Size() || got.Radius() != want.Radius() {
+			t.Fatalf("vicinity %d: header mismatch", v)
+		}
+		for i, e := range want.Entries {
+			if got.Entries[i] != e {
+				t.Fatalf("vicinity %d entry %d: got %+v want %+v", v, i, got.Entries[i], e)
+			}
+		}
+	}
+
+	trees := pathtree.NewCache(env.G, len(env.Landmarks))
+	for _, lm := range env.Landmarks {
+		if !s.HasTree(lm) {
+			t.Fatalf("missing tree for landmark %d", lm)
+		}
+		want := trees.Tree(lm)
+		for v := 0; v < env.N(); v += 7 {
+			gotFrom := s.PathFrom(lm, graph.NodeID(v))
+			wantFrom := want.PathFrom(graph.NodeID(v))
+			if len(gotFrom) != len(wantFrom) {
+				t.Fatalf("PathFrom(%d,%d): len %d want %d", lm, v, len(gotFrom), len(wantFrom))
+			}
+			for i := range gotFrom {
+				if gotFrom[i] != wantFrom[i] {
+					t.Fatalf("PathFrom(%d,%d)[%d]: got %d want %d", lm, v, i, gotFrom[i], wantFrom[i])
+				}
+			}
+			gotTo := s.PathTo(lm, graph.NodeID(v))
+			wantTo := want.PathTo(graph.NodeID(v))
+			for i := range gotTo {
+				if gotTo[i] != wantTo[i] {
+					t.Fatalf("PathTo(%d,%d)[%d]: got %d want %d", lm, v, i, gotTo[i], wantTo[i])
+				}
+			}
+		}
+	}
+	for v := 0; v < env.N(); v++ {
+		if s.HasTree(graph.NodeID(v)) != env.IsLM[v] {
+			t.Fatalf("HasTree(%d) = %v, IsLM = %v", v, s.HasTree(graph.NodeID(v)), env.IsLM[v])
+		}
+	}
+}
+
+// bytesPerNode builds the snapshot for a G(n,m) environment and returns
+// its shared footprint per node.
+func bytesPerNode(t testing.TB, n int, seed int64) float64 {
+	env := buildEnv(t, n, seed)
+	s := Build(env.G, vicinity.DefaultK(n), env.Landmarks)
+	return float64(s.Bytes()) / float64(n)
+}
+
+// TestSnapshotBytesSublinear is the memory-regression guard: snapshot
+// bytes per node must grow like the paper's Θ(√(n log n)) state bound,
+// not Θ(n). A linear-state regression (e.g. accidentally storing full
+// trees per node) multiplies bytes/node by n2/n1 = 16 between the probed
+// sizes; the √(n log n) law predicts ~4.9x. The test rejects anything
+// past halfway to linear.
+func TestSnapshotBytesSublinear(t *testing.T) {
+	const n1, n2 = 256, 4096
+	b1 := bytesPerNode(t, n1, 1)
+	b2 := bytesPerNode(t, n2, 1)
+	ratio := b2 / b1
+	sqrtLaw := math.Sqrt(float64(n2) * math.Log2(float64(n2)) / (float64(n1) * math.Log2(float64(n1))))
+	linear := float64(n2) / float64(n1)
+	t.Logf("bytes/node: n=%d %.0f, n=%d %.0f, ratio %.2f (√(n log n) law %.2f, linear %.0f)", n1, b1, n2, b2, ratio, sqrtLaw, linear)
+	if ratio > sqrtLaw*1.75 {
+		t.Errorf("bytes/node grew %.2fx from n=%d to n=%d; √(n log n) predicts %.2fx — snapshot state is no longer compact", ratio, n1, n2, sqrtLaw)
+	}
+	if ratio > linear/2 {
+		t.Errorf("bytes/node growth %.2fx is within 2x of linear (%.0fx) — Θ(n) state regression", ratio, linear)
+	}
+}
+
+// BenchmarkSnapshotMemory records the snapshot's shared bytes/node and
+// build cost at the standard probe sizes. The bytes/node metric is the
+// number the ROADMAP's -full feasibility estimate scales up from.
+func BenchmarkSnapshotMemory(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			env := buildEnv(b, n, 1)
+			k := vicinity.DefaultK(n)
+			b.ResetTimer()
+			var s *Snapshot
+			for i := 0; i < b.N; i++ {
+				s = Build(env.G, k, env.Landmarks)
+			}
+			b.ReportMetric(float64(s.Bytes())/float64(n), "bytes/node")
+		})
+	}
+}

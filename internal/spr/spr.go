@@ -10,30 +10,37 @@ import (
 	"disco/internal/static"
 )
 
-// SPR is the converged shortest-path data plane.
+// SPR is the converged shortest-path data plane. Routes are read off a
+// lazy single-root Dijkstra view rather than materialized trees:
+// destination roots in the congestion sweeps are queried once each, so a
+// tree cache would allocate O(n) per route for a single lookup.
 type SPR struct {
-	Env   *static.Env
-	trees *pathtree.Cache
+	Env  *static.Env
+	dest *pathtree.Lazy
 }
 
 // New builds the baseline over env.
 func New(env *static.Env) *SPR {
-	return &SPR{Env: env, trees: pathtree.NewCache(env.G, 128)}
+	return &SPR{Env: env, dest: pathtree.NewLazy(env.G)}
 }
 
 // Fork returns a concurrency view of p for one worker of a parallel
-// sweep: the environment is shared, the lazy tree cache is private.
+// sweep: the environment is shared, the Dijkstra scratch is private.
 func (p *SPR) Fork() *SPR {
-	return &SPR{Env: p.Env, trees: pathtree.NewCache(p.Env.G, p.trees.Cap())}
+	return &SPR{Env: p.Env, dest: pathtree.NewLazy(p.Env.G)}
 }
 
 // Route returns the (deterministically tie-broken) shortest path s ⇝ t.
 func (p *SPR) Route(s, t graph.NodeID) []graph.NodeID {
-	return p.trees.Tree(t).PathFrom(s)
+	p.dest.Bind(t)
+	return p.dest.PathFrom(s)
 }
 
 // Dist returns d(s,t).
-func (p *SPR) Dist(s, t graph.NodeID) float64 { return p.trees.Tree(t).Dist(s) }
+func (p *SPR) Dist(s, t graph.NodeID) float64 {
+	p.dest.Bind(t)
+	return p.dest.Dist(s)
+}
 
 // StateEntries returns the per-node entry count: one route per destination
 // (n-1) plus per-neighbor adjacency.

@@ -117,6 +117,24 @@ func New(g *graph.Graph, k int, rng *rand.Rand) *Scheme {
 	return s
 }
 
+// Fork returns a concurrency view of s for one worker of a parallel
+// sweep: the converged hierarchy, witnesses and bunches are shared
+// read-only; only the lazy tree cache (used to materialize routes) is
+// private. Forks route concurrently and return exactly the routes the
+// original would.
+func (s *Scheme) Fork() *Scheme {
+	return &Scheme{
+		G:       s.G,
+		K:       s.K,
+		levels:  s.levels,
+		inLevel: s.inLevel,
+		witness: s.witness,
+		distA:   s.distA,
+		bunch:   s.bunch,
+		trees:   pathtree.NewCache(s.G, s.trees.Cap()),
+	}
+}
+
 // clusterFrom runs the pruned Dijkstra of [44]: from w, settle exactly the
 // nodes v with d(w,v) < bound[v] (bound nil = no bound, top level) and add
 // w to their bunches.

@@ -153,18 +153,27 @@ func buildOne(s *graph.SSSP, src graph.NodeID, k int) *Set {
 	return FromEntries(src, entries)
 }
 
+// MakeSet assembles a Set view over entries that are already sorted by
+// member node ID, without copying or re-sorting: the slice is referenced as
+// is, so callers can hand out windows of one contiguous backing array (the
+// snapshot layer's flat vicinity table). Only the radius is computed.
+func MakeSet(src graph.NodeID, entries []Entry) Set {
+	s := Set{Src: src, Entries: entries}
+	for _, e := range entries {
+		if e.Dist > s.radius {
+			s.radius = e.Dist
+		}
+	}
+	return s
+}
+
 // FromEntries assembles a Set from raw entries (e.g. collected by the
 // event-driven path-vector protocol), sorting them and computing the
 // radius. The entries slice is taken over by the Set.
 func FromEntries(src graph.NodeID, entries []Entry) *Set {
-	set := &Set{Src: src, Entries: entries}
-	for _, e := range entries {
-		if e.Dist > set.radius {
-			set.radius = e.Dist
-		}
-	}
-	sort.Slice(set.Entries, func(i, j int) bool { return set.Entries[i].Node < set.Entries[j].Node })
-	return set
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Node < entries[j].Node })
+	set := MakeSet(src, entries)
+	return &set
 }
 
 // Of returns the vicinity of v, or nil if it was not built.

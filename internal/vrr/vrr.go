@@ -25,7 +25,11 @@ import (
 	"disco/internal/static"
 )
 
-// VRR is the converged VRR network.
+// VRR is the converged VRR network. During construction, forwarding state
+// lives in per-node maps (joins mutate them); once every node has joined,
+// seal() freezes the tables into flat, index-addressed arrays — one
+// contiguous entry slice plus per-node offsets — which every Fork() shares
+// read-only and iterates allocation-free in deterministic order.
 type VRR struct {
 	Env *static.Env
 	R   int // vset size (r=4 in the paper's evaluation)
@@ -36,7 +40,19 @@ type VRR struct {
 	paths  map[int]*vpath
 	vsets  []map[graph.NodeID]int // node -> (peer -> path id)
 	nextID int
-	trees  *pathtree.Cache
+
+	// Sealed converged state: node u's forwarding entries are
+	// flat[off[u]:off[u+1]] and its vset peers vflat[voff[u]:voff[u+1]].
+	sealed bool
+	flat   []entry
+	off    []int32
+	vflat  []graph.NodeID
+	voff   []int32
+
+	// bank memoizes dead-end-recovery trees once across all forks.
+	bank *pathtree.Shared
+
+	numPaths int // path count preserved across Compact
 
 	Stuck int // greedy dead-ends resolved by a physical-hop fallback
 }
@@ -63,7 +79,7 @@ func New(env *static.Env, r int, seed graph.NodeID) *VRR {
 		tables: make([]map[int]entry, env.N()),
 		paths:  make(map[int]*vpath),
 		vsets:  make([]map[graph.NodeID]int, env.N()),
-		trees:  pathtree.NewCache(env.G, 64),
+		bank:   pathtree.NewShared(env.G),
 	}
 	for i := range v.tables {
 		v.tables[i] = make(map[int]entry)
@@ -73,7 +89,69 @@ func New(env *static.Env, r int, seed graph.NodeID) *VRR {
 	for _, x := range v.order {
 		v.join(x)
 	}
+	v.seal()
 	return v
+}
+
+// seal freezes the converged per-node maps into the flat index-addressed
+// arrays that forks share. Entries are sorted by (a, b, toward, back) —
+// the order is deterministic by construction, and nextHop's tie-break
+// makes forwarding independent of iteration order anyway.
+func (v *VRR) seal() {
+	n := v.Env.N()
+	v.off = make([]int32, n+1)
+	v.voff = make([]int32, n+1)
+	total, vtotal := 0, 0
+	for u := 0; u < n; u++ {
+		v.off[u] = int32(total)
+		v.voff[u] = int32(vtotal)
+		total += len(v.tables[u])
+		vtotal += len(v.vsets[u])
+	}
+	v.off[n] = int32(total)
+	v.voff[n] = int32(vtotal)
+	v.flat = make([]entry, 0, total)
+	v.vflat = make([]graph.NodeID, 0, vtotal)
+	for u := 0; u < n; u++ {
+		start := len(v.flat)
+		for _, e := range v.tables[u] {
+			v.flat = append(v.flat, e)
+		}
+		win := v.flat[start:]
+		sort.Slice(win, func(i, j int) bool {
+			a, b := win[i], win[j]
+			if a.a != b.a {
+				return a.a < b.a
+			}
+			if a.b != b.b {
+				return a.b < b.b
+			}
+			if a.toward != b.toward {
+				return a.toward < b.toward
+			}
+			return a.back < b.back
+		})
+		vstart := len(v.vflat)
+		for peer := range v.vsets[u] {
+			v.vflat = append(v.vflat, peer)
+		}
+		vw := v.vflat[vstart:]
+		sort.Slice(vw, func(i, j int) bool { return vw[i] < vw[j] })
+	}
+	v.numPaths = len(v.paths)
+	v.sealed = true
+}
+
+// Compact drops the construction-time per-node maps and path records,
+// leaving only the sealed flat arrays — halving the converged footprint
+// of a long-lived (memoized) instance. Irreversible: the ring is closed,
+// so no further joins can happen. Tests that check construction
+// invariants simply skip calling it.
+func (v *VRR) Compact() {
+	if !v.sealed {
+		panic("vrr: Compact before seal")
+	}
+	v.tables, v.vsets, v.paths = nil, nil, nil
 }
 
 func bfsOrder(g *graph.Graph, seed graph.NodeID) []graph.NodeID {
@@ -224,6 +302,7 @@ func (v *VRR) teardown(id int) {
 }
 
 // joinedNeighbors returns u's physical neighbors that are on the ring.
+// After sealing every node has joined, so this is the full adjacency list.
 func (v *VRR) joinedNeighbors(u graph.NodeID) []graph.NodeID {
 	var out []graph.NodeID
 	for _, e := range v.Env.G.Neighbors(u) {
@@ -252,16 +331,33 @@ func (v *VRR) nextHop(u, t graph.NodeID) (graph.NodeID, bool) {
 			bestEp, bestVia, bestD = ep, via, d
 		}
 	}
-	for _, e := range v.tables[u] {
-		if e.toward != graph.None {
-			consider(e.b, e.toward)
+	if v.sealed {
+		// Converged fast path: iterate the shared flat entry window and the
+		// full adjacency list (every node has joined) — no map iteration,
+		// no per-call allocation.
+		for _, e := range v.flat[v.off[u]:v.off[u+1]] {
+			if e.toward != graph.None {
+				consider(e.b, e.toward)
+			}
+			if e.back != graph.None {
+				consider(e.a, e.back)
+			}
 		}
-		if e.back != graph.None {
-			consider(e.a, e.back)
+		for _, e := range v.Env.G.Neighbors(u) {
+			consider(e.To, e.To)
 		}
-	}
-	for _, nb := range v.joinedNeighbors(u) {
-		consider(nb, nb)
+	} else {
+		for _, e := range v.tables[u] {
+			if e.toward != graph.None {
+				consider(e.b, e.toward)
+			}
+			if e.back != graph.None {
+				consider(e.a, e.back)
+			}
+		}
+		for _, nb := range v.joinedNeighbors(u) {
+			consider(nb, nb)
+		}
 	}
 	if bestVia == graph.None {
 		return graph.None, false // u itself is closest: greedy dead-end
@@ -283,7 +379,7 @@ func (v *VRR) greedyPath(x, y graph.NodeID) ([]graph.NodeID, bool) {
 		nh, ok := v.nextHop(cur, y)
 		if !ok || steps > limit {
 			v.Stuck++
-			rest := v.trees.Tree(y).PathFrom(cur) // cur ⇝ y
+			rest := v.bank.Tree(y).PathFrom(cur) // cur ⇝ y
 			for _, u := range rest[1:] {
 				nodes = appendTrim(nodes, u)
 			}
@@ -307,21 +403,26 @@ func appendTrim(nodes []graph.NodeID, nh graph.NodeID) []graph.NodeID {
 }
 
 // Fork returns a concurrency view of v for one worker of a parallel
-// sweep: the converged ring, vset paths and forwarding tables are shared
-// read-only; the lazy tree cache (used for dead-end recovery) and the
-// Stuck counter are private. Sum fork Stuck counters to recover the
-// serial total.
+// sweep: the converged ring, the sealed flat forwarding/vset arrays and
+// the shared recovery-tree bank are all shared read-only; only the Stuck
+// counter is private. Sum fork Stuck counters to recover the serial total.
 func (v *VRR) Fork() *VRR {
 	return &VRR{
-		Env:    v.Env,
-		R:      v.R,
-		order:  v.order,
-		ring:   v.ring,
-		tables: v.tables,
-		paths:  v.paths,
-		vsets:  v.vsets,
-		nextID: v.nextID,
-		trees:  pathtree.NewCache(v.Env.G, v.trees.Cap()),
+		Env:      v.Env,
+		R:        v.R,
+		order:    v.order,
+		ring:     v.ring,
+		tables:   v.tables,
+		paths:    v.paths,
+		vsets:    v.vsets,
+		nextID:   v.nextID,
+		sealed:   v.sealed,
+		flat:     v.flat,
+		off:      v.off,
+		vflat:    v.vflat,
+		voff:     v.voff,
+		bank:     v.bank,
+		numPaths: v.numPaths,
 	}
 }
 
@@ -336,20 +437,43 @@ func (v *VRR) Route(s, t graph.NodeID) []graph.NodeID {
 func (v *VRR) RouteLen(p []graph.NodeID) float64 { return v.Env.G.PathLength(p) }
 
 // ShortestDist returns d(s,t).
-func (v *VRR) ShortestDist(s, t graph.NodeID) float64 { return v.trees.Tree(t).Dist(s) }
+func (v *VRR) ShortestDist(s, t graph.NodeID) float64 { return v.bank.Tree(t).Dist(s) }
 
 // StateEntries returns per-node entry counts: one per vpath through the
 // node plus physical adjacency.
 func (v *VRR) StateEntries() []int {
 	out := make([]int, v.Env.N())
 	for u := range out {
-		out[u] = len(v.tables[u]) + v.Env.G.Degree(graph.NodeID(u))
+		if v.sealed {
+			out[u] = int(v.off[u+1]-v.off[u]) + v.Env.G.Degree(graph.NodeID(u))
+		} else {
+			out[u] = len(v.tables[u]) + v.Env.G.Degree(graph.NodeID(u))
+		}
 	}
 	return out
 }
 
 // NumPaths returns the number of live vset paths.
-func (v *VRR) NumPaths() int { return len(v.paths) }
+func (v *VRR) NumPaths() int {
+	if v.sealed {
+		return v.numPaths
+	}
+	return len(v.paths)
+}
 
 // VSetSize returns |vset(u)|.
-func (v *VRR) VSetSize(u graph.NodeID) int { return len(v.vsets[u]) }
+func (v *VRR) VSetSize(u graph.NodeID) int {
+	if v.sealed {
+		return int(v.voff[u+1] - v.voff[u])
+	}
+	return len(v.vsets[u])
+}
+
+// VSetMembers returns u's sealed vset peers in ascending order (a shared
+// window of the flat array; do not modify).
+func (v *VRR) VSetMembers(u graph.NodeID) []graph.NodeID {
+	if !v.sealed {
+		return nil
+	}
+	return v.vflat[v.voff[u]:v.voff[u+1]]
+}
