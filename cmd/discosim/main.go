@@ -11,6 +11,9 @@
 //	discosim -exp fig2 -n 16384 -memprofile mem.pb.gz
 //	                                   # report peak RSS and write a heap profile
 //	                                   # (the -full feasibility workflow)
+//	discosim -exp fig3 -full -compact  # paper scale on the compact snapshot
+//	                                   # encoding (~2.5x less route-state memory;
+//	                                   # exact on unit-weight topologies)
 //	discosim -list                     # list experiments
 //
 // Experiment output is bit-identical at any -workers value: the harness
@@ -18,7 +21,9 @@
 // order (see internal/parallel).
 //
 // Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 addrsize
-// accuracy nerror fingers imbalance.
+// accuracy nerror fingers imbalance landmarks tradeoff churn.
+// (TestDocListsEveryExperiment keeps this list in sync with the
+// experiments table below; -list prints the authoritative table.)
 package main
 
 import (
@@ -196,11 +201,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	pairs := flag.Int("pairs", 500, "sampled source-destination pairs")
 	full := flag.Bool("full", false, "use paper-scale sizes (up to 192,244 nodes; slow)")
+	compact := flag.Bool("compact", false, "build route-state snapshots in the compact encoding (delta-coded members, float32 distances; ~2.5x less memory — the -full enabler). Exact on unit-weight topologies; geometric distances quantize to float32")
 	workers := flag.Int("workers", 0, "worker pool size for parallel sweeps (0 = GOMAXPROCS); results are identical at any value")
 	memprofile := flag.String("memprofile", "", "write a heap profile here after the run and report peak RSS (the -full feasibility workflow)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	eval.SetSnapshotCompact(*compact)
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocListsEveryExperiment keeps the package doc comment's
+// "Experiments:" sentence in sync with the experiments table — the table
+// is the single source of truth (it drives -list and dispatch), and the
+// doc comment has silently rotted before when experiments were added.
+func TestDocListsEveryExperiment(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?s)// Experiments: (.*?)\.\n`).FindSubmatch(src)
+	if m == nil {
+		t.Fatal("main.go doc comment has no \"// Experiments: ...\" sentence")
+	}
+	listed := strings.Fields(strings.ReplaceAll(string(m[1]), "//", ""))
+	inDoc := make(map[string]bool, len(listed))
+	for _, name := range listed {
+		inDoc[name] = true
+	}
+	for _, e := range experiments {
+		if !inDoc[e.name] {
+			t.Errorf("experiment %q is registered but missing from the doc comment's Experiments list", e.name)
+		}
+		delete(inDoc, e.name)
+	}
+	for name := range inDoc {
+		t.Errorf("doc comment lists %q, which is not in the experiments table", name)
+	}
+}
+
+// TestExperimentTableSane guards the table the doc list is synced to:
+// unique names, nonempty descriptions, runnable entries.
+func TestExperimentTableSane(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range experiments {
+		if e.name == "" || e.desc == "" || e.run == nil {
+			t.Errorf("experiment %+v has an empty field", e.name)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate experiment name %q", e.name)
+		}
+		seen[e.name] = true
+	}
+}

@@ -50,6 +50,14 @@ func (w *Writer) WriteGamma(v uint64) {
 // Len returns the number of bits written.
 func (w *Writer) Len() int { return w.nbit }
 
+// Reset truncates the writer to zero bits, retaining the buffer for reuse.
+// The compact snapshot encoder resets one writer per window instead of
+// allocating a fresh one per node.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
 // Bytes returns the accumulated bit string padded with zero bits to a byte
 // boundary. The slice is owned by the writer.
 func (w *Writer) Bytes() []byte { return w.buf }
@@ -72,12 +80,8 @@ func (r *Reader) ReadBits(width int) uint64 {
 	if r.pos+width > r.nbit {
 		panic(fmt.Sprintf("bits: read %d bits past end (%d/%d)", width, r.pos, r.nbit))
 	}
-	var v uint64
-	for i := 0; i < width; i++ {
-		b := (r.buf[r.pos/8] >> uint(7-r.pos%8)) & 1
-		v = v<<1 | uint64(b)
-		r.pos++
-	}
+	v := At(r.buf, r.pos, width)
+	r.pos += width
 	return v
 }
 
@@ -96,6 +100,21 @@ func (r *Reader) ReadGamma() uint64 {
 
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// At returns the `width` bits starting at bit position pos of buf (MSB-first,
+// the Writer's layout) without constructing a Reader — random access into a
+// shared bit-packed array, e.g. one parent field of a compact snapshot row.
+// The caller guarantees pos+width bits exist; reads past len(buf)*8 panic via
+// the slice bound.
+func At(buf []byte, pos, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		b := (buf[pos/8] >> uint(7-pos%8)) & 1
+		v = v<<1 | uint64(b)
+		pos++
+	}
+	return v
+}
 
 // Width returns the number of bits needed to encode values in [0, n), i.e.
 // ceil(log2 n), with Width(0) = Width(1) = 0 (a degree-1 node needs no label

@@ -140,3 +140,46 @@ func TestLenCounting(t *testing.T) {
 		t.Errorf("bytes %d want 2", len(w.Bytes()))
 	}
 }
+
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Errorf("len after Reset = %d", w.Len())
+	}
+	// Reused buffer bytes must come back zeroed: stale set bits from the
+	// previous window would corrupt ORed-in values.
+	w.WriteBits(0, 8)
+	if w.Bytes()[0] != 0 {
+		t.Errorf("stale bits survived Reset: %08b", w.Bytes()[0])
+	}
+	w.Reset()
+	w.WriteBits(0xA5, 8)
+	r := NewReader(w.Bytes(), w.Len())
+	if got := r.ReadBits(8); got != 0xA5 {
+		t.Errorf("after Reset read %#x want 0xA5", got)
+	}
+}
+
+func TestAtMatchesReader(t *testing.T) {
+	// At(buf, pos, width) must agree with a Reader that seeks to pos by
+	// consuming bits, at every offset and width.
+	var w Writer
+	vals := []uint64{0, 1, 0x2A, 0x155, 0x7FF, 3, 0}
+	widths := []int{1, 3, 6, 9, 11, 2, 4}
+	for i, v := range vals {
+		w.WriteBits(v, widths[i])
+	}
+	pos := 0
+	for i, want := range vals {
+		if got := At(w.Bytes(), pos, widths[i]); got != want {
+			t.Errorf("At(pos=%d, width=%d) = %#x want %#x", pos, widths[i], got, want)
+		}
+		pos += widths[i]
+	}
+	if got := At(w.Bytes(), 0, 0); got != 0 {
+		t.Errorf("zero-width At = %d want 0", got)
+	}
+}

@@ -41,8 +41,10 @@ func (r *NDDisco) ForwardFirst(s, t graph.NodeID) []graph.NodeID {
 			panic(fmt.Sprintf("core: forwarding loop %d->%d", s, t))
 		}
 		// Local check 1: destination in my vicinity -> direct first hop.
-		if vs := r.Vicinity(cur); vs.Contains(t) {
-			nh := vs.FirstHopTo(t)
+		// (Probe membership first: it skips the compact-regime window
+		// decode on the per-hop misses.)
+		if r.VicinityContains(cur, t) {
+			nh := r.Vicinity(cur).FirstHopTo(t)
 			path = append(path, nh)
 			cur = nh
 			continue
@@ -141,8 +143,8 @@ func (d *Disco) forwardVia(s, mid graph.NodeID) []graph.NodeID {
 			panic("core: forwarding loop toward intermediate")
 		}
 		var nh graph.NodeID
-		if vs := d.ND.Vicinity(cur); vs.Contains(mid) {
-			nh = vs.FirstHopTo(mid)
+		if d.ND.VicinityContains(cur, mid) {
+			nh = d.ND.Vicinity(cur).FirstHopTo(mid)
 		} else if d.Env().IsLM[mid] {
 			nh = d.ND.landmarkFirstHop(cur, mid)
 		} else {

@@ -113,32 +113,53 @@ func TestForwardDeterministic(t *testing.T) {
 // TestForwardSnapshotRegime pins the hop-by-hop forwarding plane under
 // the shared-snapshot regime: a snapshot-backed fork (whose legacy tree
 // cache is nil) must forward every packet along exactly the path the
-// legacy instance does, for both protocols and both packet generations.
+// legacy instance does, for both protocols and both packet generations —
+// in both the exact and the compact snapshot encoding (the test topology
+// has unit weights, so float32 distance quantization is lossless and the
+// compact regime must match bit for bit too).
 func TestForwardSnapshotRegime(t *testing.T) {
 	env, legacy := testEnv(t, 47, 300, 1200)
-	snapped := NewDisco(env, WithSeed(47))
-	snapped.ND.UseSnapshot(snapshot.Build(env.G, snapped.ND.K, env.Landmarks))
-	fork := snapped.Fork() // snapshot fork: no private caches at all
-	pairs := metrics.SamplePairs(rand.New(rand.NewSource(48)), env.N(), 200)
-	for _, p := range pairs {
-		s, dst := graph.NodeID(p.Src), graph.NodeID(p.Dst)
-		checks := []struct {
-			name      string
-			want, got []graph.NodeID
-		}{
-			{"ND.ForwardFirst", legacy.ND.ForwardFirst(s, dst), fork.ND.ForwardFirst(s, dst)},
-			{"ND.ForwardLater", legacy.ND.ForwardLater(s, dst), fork.ND.ForwardLater(s, dst)},
-			{"Disco.ForwardFirst", legacy.ForwardFirst(s, dst), fork.ForwardFirst(s, dst)},
-		}
-		for _, c := range checks {
-			if len(c.want) != len(c.got) {
-				t.Fatalf("%s(%d,%d): snapshot fork path %v != legacy %v", c.name, s, dst, c.got, c.want)
+	for _, regime := range []struct {
+		name  string
+		build func() (*snapshot.Snapshot, error)
+	}{
+		{"exact", func() (*snapshot.Snapshot, error) {
+			return snapshot.Build(env.G, legacy.ND.K, env.Landmarks)
+		}},
+		{"compact", func() (*snapshot.Snapshot, error) {
+			return snapshot.BuildCompact(env.G, legacy.ND.K, env.Landmarks)
+		}},
+	} {
+		t.Run(regime.name, func(t *testing.T) {
+			snap, err := regime.build()
+			if err != nil {
+				t.Fatalf("snapshot build: %v", err)
 			}
-			for i := range c.want {
-				if c.want[i] != c.got[i] {
-					t.Fatalf("%s(%d,%d): snapshot fork path %v != legacy %v", c.name, s, dst, c.got, c.want)
+			snapped := NewDisco(env, WithSeed(47))
+			snapped.ND.UseSnapshot(snap)
+			fork := snapped.Fork() // snapshot fork: no private caches at all
+			pairs := metrics.SamplePairs(rand.New(rand.NewSource(48)), env.N(), 200)
+			for _, p := range pairs {
+				s, dst := graph.NodeID(p.Src), graph.NodeID(p.Dst)
+				checks := []struct {
+					name      string
+					want, got []graph.NodeID
+				}{
+					{"ND.ForwardFirst", legacy.ND.ForwardFirst(s, dst), fork.ND.ForwardFirst(s, dst)},
+					{"ND.ForwardLater", legacy.ND.ForwardLater(s, dst), fork.ND.ForwardLater(s, dst)},
+					{"Disco.ForwardFirst", legacy.ForwardFirst(s, dst), fork.ForwardFirst(s, dst)},
+				}
+				for _, c := range checks {
+					if len(c.want) != len(c.got) {
+						t.Fatalf("%s(%d,%d): snapshot fork path %v != legacy %v", c.name, s, dst, c.got, c.want)
+					}
+					for i := range c.want {
+						if c.want[i] != c.got[i] {
+							t.Fatalf("%s(%d,%d): snapshot fork path %v != legacy %v", c.name, s, dst, c.got, c.want)
+						}
+					}
 				}
 			}
-		}
+		})
 	}
 }

@@ -29,10 +29,13 @@ import (
 // Two cache regimes exist. Without a snapshot (the legacy regime),
 // vicinities and trees are computed lazily into instance-private caches and
 // Fork() rebuilds them per worker. With UseSnapshot, the shared immutable
-// snapshot serves every vicinity and landmark-tree read allocation-free,
-// forks share it by pointer, and the only per-fork state is a reusable
-// Dijkstra scratch for destination-rooted queries. Route values are
-// identical in both regimes (see eval's snapshot-equivalence test).
+// snapshot serves every vicinity and landmark-tree read — allocation-free
+// in its exact storage regime, one decoded window per Vicinity call in the
+// compact regime (membership probes stay materialization-free via
+// VicinityContains) — forks share it by pointer, and the only per-fork
+// state is a reusable Dijkstra scratch for destination-rooted queries.
+// Route values are identical in all regimes (see eval's
+// snapshot-equivalence test).
 type NDDisco struct {
 	Env *static.Env
 	K   int // vicinity size |V(v)|, Θ(sqrt(n log n))
@@ -148,6 +151,17 @@ func (r *NDDisco) Vicinity(v graph.NodeID) *vicinity.Set {
 	return set
 }
 
+// VicinityContains reports w ∈ V(v) without materializing the set in the
+// compact snapshot regime — the guard the forwarding loops probe once per
+// hop, where the common answer is "no". Falls back to the full set
+// elsewhere (exact sets are shared views; legacy sets are cached anyway).
+func (r *NDDisco) VicinityContains(v, w graph.NodeID) bool {
+	if r.snap != nil {
+		return r.snap.VicinityContains(v, w)
+	}
+	return r.Vicinity(v).Contains(w)
+}
+
 func setFromSSSP(s *graph.SSSP, src graph.NodeID) *vicinity.Set {
 	order := s.Order()
 	entries := make([]vicinity.Entry, len(order))
@@ -204,10 +218,10 @@ func (r *NDDisco) LaterRoute(s, t graph.NodeID, sc Shortcut) []graph.NodeID {
 	if direct := r.directRoute(s, t); direct != nil {
 		return direct
 	}
-	if vt := r.Vicinity(t); vt.Contains(s) {
+	if r.VicinityContains(t, s) {
 		// t knows the shortest path t ⇝ s even though s didn't; reversed it
 		// is the exact route s ⇝ t.
-		p := vt.PathTo(s)
+		p := r.Vicinity(t).PathTo(s)
 		rev := make([]graph.NodeID, len(p))
 		for i := range p {
 			rev[len(p)-1-i] = p[i]
@@ -226,8 +240,8 @@ func (r *NDDisco) directRoute(s, t graph.NodeID) []graph.NodeID {
 	if r.Env.IsLM[t] {
 		return r.tree().PathFrom(t, s)
 	}
-	if vs := r.Vicinity(s); vs.Contains(t) {
-		return vs.PathTo(t)
+	if r.VicinityContains(s, t) {
+		return r.Vicinity(s).PathTo(t)
 	}
 	return nil
 }
@@ -284,17 +298,17 @@ func (r *NDDisco) walk(route []graph.NodeID, t graph.NodeID, sc Shortcut) []grap
 	cur := append([]graph.NodeID(nil), route...)
 	for i := 0; i < len(cur)-1; i++ {
 		u := cur[i]
-		vu := r.Vicinity(u)
 		if sc.usesUpDown() {
-			cur = r.spliceUpDown(cur, i, vu)
+			cur = r.spliceUpDown(cur, i, r.Vicinity(u))
 			continue
 		}
 		// To-Destination: follow the direct path as soon as any node knows
 		// one. Nodes on a shortest path to t also have t in their
 		// vicinities with consistent sub-paths, so no further improvement
-		// is possible after the splice.
-		if vu.Contains(t) {
-			direct := vu.PathTo(t)
+		// is possible after the splice. Membership is probed without
+		// materializing the window (the per-node common case is a miss).
+		if r.VicinityContains(u, t) {
+			direct := r.Vicinity(u).PathTo(t)
 			return append(cur[:i:i], direct...)
 		}
 	}

@@ -73,6 +73,40 @@ func SetSnapshotBacked(on bool) { snapshotBacked.Store(on) }
 // snapshot layer.
 func SnapshotBacked() bool { return snapshotBacked.Load() }
 
+// snapshotCompact selects the compact (bit-packed, float32-distance)
+// snapshot encoding for subsequently built experiments — the regime that
+// fits paper-scale -full runs in memory. Exact storage stays the default:
+// compact output is byte-identical on the integer-weight topologies and
+// may shift at float32 precision on metric (geometric) ones, so figures
+// that claim exactness keep the exact escape hatch unless -compact is
+// asked for.
+var snapshotCompact atomic.Bool
+
+// SetSnapshotCompact toggles the compact snapshot encoding for
+// subsequently built experiments (cmd/discosim -compact and tests).
+func SetSnapshotCompact(on bool) { snapshotCompact.Store(on) }
+
+// SnapshotCompact reports whether snapshots are built in the compact
+// encoding regime.
+func SnapshotCompact() bool { return snapshotCompact.Load() }
+
+// buildSnapshot dispatches to the selected encoding regime. The
+// experiment topologies are connected by construction, so a build error
+// here is a harness bug; panicking with the diagnosable error (outside
+// any worker pool) is the right failure mode for the harness, while
+// library callers of snapshot.Build handle the error themselves.
+func buildSnapshot(g *graph.Graph, k int, landmarks []graph.NodeID) *snapshot.Snapshot {
+	build := snapshot.Build
+	if SnapshotCompact() {
+		build = snapshot.BuildCompact
+	}
+	s, err := build(g, k, landmarks)
+	if err != nil {
+		panic(fmt.Sprintf("eval: snapshot build failed: %v", err))
+	}
+	return s
+}
+
 // Protocols bundles the protocol instances built over one environment so
 // experiments share landmarks, names and caches.
 type Protocols struct {
@@ -101,7 +135,7 @@ func (p *Protocols) EnsureSnapshot() {
 	if p.snap != nil {
 		return
 	}
-	p.snap = snapshot.Build(p.Env.G, p.Disco.ND.K, p.Env.Landmarks)
+	p.snap = buildSnapshot(p.Env.G, p.Disco.ND.K, p.Env.Landmarks)
 	p.Disco.ND.UseSnapshot(p.snap)
 	p.S4.UseSnapshot(p.snap)
 }
@@ -114,7 +148,7 @@ func installSnapshot(d *core.Disco) {
 		return
 	}
 	env := d.Env()
-	d.ND.UseSnapshot(snapshot.Build(env.G, d.ND.K, env.Landmarks))
+	d.ND.UseSnapshot(buildSnapshot(env.G, d.ND.K, env.Landmarks))
 }
 
 // BuildProtocols constructs the common environment and protocol stack.

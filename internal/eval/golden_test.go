@@ -38,6 +38,23 @@ func TestGoldenFig2State(t *testing.T) {
 	checkGolden(t, "fig2_state_gnm256", Fig2State(TopoGnm, 256, 1).Format())
 }
 
+// TestGoldenCompact pins the compact snapshot encoding to the same golden
+// files the exact regime produces for the exactness-claimed figures: on
+// the unit-weight G(n,m) topology, fig2 and fig4 must not move by a single
+// byte when the route state is bit-packed and distances round-trip through
+// float32. (Never run with -update: these goldens belong to the exact
+// regime; a compact run that needs its own golden is an equivalence bug.)
+func TestGoldenCompact(t *testing.T) {
+	if *updateGoldens {
+		t.Skip("goldens are written by the exact regime")
+	}
+	defer SetSnapshotCompact(false)
+	SetSnapshotBacked(true) // compact only takes effect on the snapshot path
+	SetSnapshotCompact(true)
+	checkGolden(t, "fig2_state_gnm256", Fig2State(TopoGnm, 256, 1).Format())
+	checkGolden(t, "fig4_gnm256", Fig45(TopoGnm, 256, 4, 80).Format())
+}
+
 func TestGoldenFig3Stretch(t *testing.T) {
 	checkGolden(t, "fig3_stretch_geo512", Fig3Stretch(TopoGeometric, 512, 3, 150).Format())
 }

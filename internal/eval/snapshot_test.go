@@ -5,35 +5,45 @@ import "testing"
 // TestSnapshotEquivalence is the refactor's safety net: every figure
 // experiment must produce byte-identical output whether routing runs on
 // the shared immutable snapshot (the default) or on the legacy per-fork
-// lazy caches. Sizes are scaled down; the paths exercised are the same
-// ones the full sizes use.
+// lazy caches. Cases with compactExact additionally run on the compact
+// (bit-packed, float32-distance) encoding and must still match byte for
+// byte — these are the exactness-claimed figures: distance-independent
+// state accounting, plus every routing figure on an integer-weight
+// topology, where float32 quantization is lossless. Geometric-topology
+// routing figures are deliberately NOT claimed (Euclidean distances
+// quantize), which is why exact mode stays the default. Sizes are scaled
+// down; the paths exercised are the same ones the full sizes use.
 func TestSnapshotEquivalence(t *testing.T) {
 	cases := []struct {
-		name  string
-		short bool // keep in -short runs
-		run   func() string
+		name         string
+		short        bool // keep in -short runs
+		compactExact bool // output must also be byte-identical on the compact encoding
+		run          func() string
 	}{
-		{"Fig2State", true, func() string { return Fig2State(TopoGnm, 192, 1).Format() }},
-		{"Fig3Stretch", true, func() string { return Fig3Stretch(TopoGeometric, 192, 3, 60).Format() }},
-		{"Fig45", true, func() string { return Fig45(TopoGnm, 128, 4, 40).Format() }},
-		{"Fig6Shortcuts", false, func() string {
+		{"Fig2State", true, true, func() string { return Fig2State(TopoGnm, 192, 1).Format() }},
+		{"Fig3Stretch", true, false, func() string { return Fig3Stretch(TopoGeometric, 192, 3, 60).Format() }},
+		{"Fig3StretchGnm", true, true, func() string { return Fig3Stretch(TopoGnm, 192, 3, 60).Format() }},
+		{"Fig45", true, true, func() string { return Fig45(TopoGnm, 128, 4, 40).Format() }},
+		{"Fig6Shortcuts", false, false, func() string {
 			return Fig6Shortcuts([]Fig6Spec{
 				{Label: "gnm-128", Kind: TopoGnm, N: 128},
 				{Label: "geo-128", Kind: TopoGeometric, N: 128},
 			}, 5, 40).Format()
 		}},
-		{"Fig7StateBytes", false, func() string { return Fig7StateBytes(256, 6).Format() }},
-		{"Fig9Scaling", false, func() string { return Fig9Scaling([]int{128, 192}, 8, 40).Format() }},
-		{"Fig10ASCongestion", false, func() string { return Fig10ASCongestion(192, 9).Format() }},
-		{"LandmarkStrategies", false, func() string { return LandmarkStrategies(TopoASLike, 192, 15, 40).Format() }},
-		{"EstimateError", true, func() string { return EstimateError(192, 11, 0.4, 40).Format() }},
+		{"Fig7StateBytes", false, true, func() string { return Fig7StateBytes(256, 6).Format() }},
+		{"Fig9Scaling", false, false, func() string { return Fig9Scaling([]int{128, 192}, 8, 40).Format() }},
+		{"Fig10ASCongestion", false, true, func() string { return Fig10ASCongestion(192, 9).Format() }},
+		{"LandmarkStrategies", false, true, func() string { return LandmarkStrategies(TopoASLike, 192, 15, 40).Format() }},
+		{"EstimateError", true, true, func() string { return EstimateError(192, 11, 0.4, 40).Format() }},
 	}
 	defer SetSnapshotBacked(true)
+	defer SetSnapshotCompact(false)
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			if testing.Short() && !tc.short {
 				t.Skip("short mode: covered by the full run")
 			}
+			SetSnapshotCompact(false)
 			SetSnapshotBacked(true)
 			snap := tc.run()
 			SetSnapshotBacked(false)
@@ -41,6 +51,15 @@ func TestSnapshotEquivalence(t *testing.T) {
 			SetSnapshotBacked(true)
 			if snap != legacy {
 				t.Errorf("output differs between snapshot-backed and legacy cache paths:\n--- snapshot ---\n%s--- legacy ---\n%s", snap, legacy)
+			}
+			if !tc.compactExact {
+				return
+			}
+			SetSnapshotCompact(true)
+			compact := tc.run()
+			SetSnapshotCompact(false)
+			if compact != snap {
+				t.Errorf("output differs between compact and exact snapshot encodings (exactness is claimed for this figure):\n--- compact ---\n%s--- exact ---\n%s", compact, snap)
 			}
 		})
 	}

@@ -86,7 +86,12 @@ func (c *CDF) FracAtOrBelow(x float64) float64 {
 }
 
 // Points returns up to k (value, cumulative-fraction) pairs suitable for
-// plotting or printing the CDF curve as in the paper's figures.
+// plotting or printing the CDF curve as in the paper's figures. For k >= 2
+// the first point is always the minimum sample at fraction 1/n and the
+// last is the maximum at fraction 1, with the remaining ranks spread
+// evenly between them — the old scheme started at rank n/k and silently
+// dropped the curve's left tail from every plot. k == 1 keeps the single
+// most informative point, the maximum at fraction 1.
 func (c *CDF) Points(k int) [](struct{ X, F float64 }) {
 	n := len(c.sorted)
 	if n == 0 || k <= 0 {
@@ -96,11 +101,12 @@ func (c *CDF) Points(k int) [](struct{ X, F float64 }) {
 		k = n
 	}
 	out := make([]struct{ X, F float64 }, 0, k)
-	for i := 0; i < k; i++ {
-		idx := (i + 1) * n / k
-		if idx > n {
-			idx = n
-		}
+	if k == 1 {
+		return append(out, struct{ X, F float64 }{X: c.sorted[n-1], F: 1})
+	}
+	out = append(out, struct{ X, F float64 }{X: c.sorted[0], F: 1 / float64(n)})
+	for i := 1; i < k; i++ {
+		idx := 1 + i*(n-1)/(k-1) // rank in [2, n], hitting n at i = k-1
 		out = append(out, struct{ X, F float64 }{X: c.sorted[idx-1], F: float64(idx) / float64(n)})
 	}
 	return out

@@ -94,11 +94,91 @@ func TestPoints(t *testing.T) {
 	if len(pts) != 2 {
 		t.Fatalf("points %d want 2", len(pts))
 	}
-	if pts[0].X != 2 || pts[0].F != 0.5 {
-		t.Errorf("pts[0]=%+v", pts[0])
+	// The curve must keep its left tail: first point is the minimum at
+	// fraction 1/n, last is the maximum at fraction 1.
+	if pts[0].X != 1 || pts[0].F != 0.25 {
+		t.Errorf("pts[0]=%+v want {1 0.25}", pts[0])
 	}
 	if pts[1].X != 4 || pts[1].F != 1 {
-		t.Errorf("pts[1]=%+v", pts[1])
+		t.Errorf("pts[1]=%+v want {4 1}", pts[1])
+	}
+}
+
+func TestPointsFullResolution(t *testing.T) {
+	// k = n must emit every sample: ranks 1..n in order.
+	c := NewCDF([]float64{3, 1, 2, 5, 4})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points %d want 5", len(pts))
+	}
+	for i, want := range []float64{1, 2, 3, 4, 5} {
+		if pts[i].X != want || pts[i].F != float64(i+1)/5 {
+			t.Errorf("pts[%d]=%+v want {%v %v}", i, pts[i], want, float64(i+1)/5)
+		}
+	}
+	// k > n clamps to n.
+	if got := c.Points(99); len(got) != 5 {
+		t.Errorf("Points(99) emitted %d points, want 5", len(got))
+	}
+}
+
+func TestPointsEdgeCases(t *testing.T) {
+	// k = 1 keeps the distribution's endpoint (the max at fraction 1).
+	c := NewCDF([]float64{1, 2, 3, 4})
+	pts := c.Points(1)
+	if len(pts) != 1 || pts[0].X != 4 || pts[0].F != 1 {
+		t.Errorf("Points(1)=%+v want [{4 1}]", pts)
+	}
+	// Single sample: the one point is both min and max.
+	one := NewCDF([]float64{7})
+	pts = one.Points(3)
+	if len(pts) != 1 || pts[0].X != 7 || pts[0].F != 1 {
+		t.Errorf("single-sample Points(3)=%+v want [{7 1}]", pts)
+	}
+	// Fractions and values must be nondecreasing at any k.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i * i % 37)
+	}
+	cc := NewCDF(big)
+	for _, k := range []int{2, 3, 7, 50, 100} {
+		pts := cc.Points(k)
+		if pts[0].X != cc.Min() || pts[0].F != 1.0/100 {
+			t.Errorf("k=%d: first point %+v is not the minimum at 1/n", k, pts[0])
+		}
+		if last := pts[len(pts)-1]; last.X != cc.Max() || last.F != 1 {
+			t.Errorf("k=%d: last point %+v is not the maximum at 1", k, last)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].F <= pts[i-1].F {
+				t.Errorf("k=%d: points not monotone at %d: %+v -> %+v", k, i, pts[i-1], pts[i])
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// Single sample: every quantile is that sample.
+	one := NewCDF([]float64{42})
+	for _, p := range []float64{0, 0.25, 0.5, 1} {
+		if q := one.Quantile(p); q != 42 {
+			t.Errorf("Quantile(%v)=%v want 42", p, q)
+		}
+	}
+	// Out-of-range p clamps to min/max.
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if q := c.Quantile(-0.5); q != 1 {
+		t.Errorf("Quantile(-0.5)=%v want 1", q)
+	}
+	if q := c.Quantile(1.5); q != 4 {
+		t.Errorf("Quantile(1.5)=%v want 4", q)
+	}
+	// Nearest-rank boundaries: p just above i/n must step to the next rank.
+	if q := c.Quantile(0.5); q != 2 {
+		t.Errorf("Quantile(0.5)=%v want 2", q)
+	}
+	if q := c.Quantile(0.500001); q != 3 {
+		t.Errorf("Quantile(0.500001)=%v want 3", q)
 	}
 }
 

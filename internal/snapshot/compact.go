@@ -1,0 +1,228 @@
+// Compact storage regime: the snapshot's route state bit-packed via
+// internal/bits. The constant factor is the whole ballgame for paper-scale
+// runs — the exact table prices a 192,244-node -full run at several
+// gigabytes, and shrinking the encoding is what turns the Θ(√(n log n))
+// bound into a runnable experiment.
+//
+// Wire format, vicinity window of node v (k entries sorted by member ID,
+// byte-aligned per node so windows are sliceable from one shared blob):
+//
+//	ids:     first member ID in Width(n) bits, then k-1 Elias-gamma deltas
+//	         (member IDs are strictly increasing, so every delta is >= 1)
+//	parents: k window indices in Width(k+1) bits each — the position of the
+//	         entry's parent within this window (parents are always members),
+//	         with index k encoding graph.None (the owner)
+//	dists:   k IEEE-754 float32 values, 32 bits each (quantized from the
+//	         exact float64; lossless whenever distances are small integers,
+//	         i.e. on every unit-weight topology)
+//
+// Landmark forest rows: one row per landmark, byte-aligned, with node v's
+// parent stored as the port index of the parent within v's sorted adjacency
+// list in Width(deg(v)+1) bits — value deg(v) encodes graph.None. Ports
+// round-trip exactly, so compact tree reads are byte-identical to exact
+// ones.
+package snapshot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"disco/internal/bits"
+	"disco/internal/graph"
+	"disco/internal/parallel"
+	"disco/internal/vicinity"
+)
+
+// vicinityShard bounds how many per-node encoded buffers exist at once
+// during BuildCompact: windows are computed and encoded in parallel within
+// a shard, then appended to the blob and released, so peak transient memory
+// tracks the encoded size, not the 16-byte-per-entry exact table.
+const vicinityShard = 8192
+
+// encScratch is one worker's private state for the compact vicinity sweep.
+type encScratch struct {
+	sp  *graph.SSSP
+	win []vicinity.Entry
+	w   bits.Writer
+}
+
+// fillWindow materializes one vicinity window from a finished truncated
+// Dijkstra run and sorts it by member ID (the Set order). Shared by both
+// regimes.
+func fillWindow(win []vicinity.Entry, sp *graph.SSSP, order []graph.NodeID) {
+	for j, w := range order {
+		win[j] = vicinity.Entry{Node: w, Parent: sp.Parent(w), Dist: sp.Dist(w)}
+	}
+	sort.Slice(win, func(a, b int) bool { return win[a].Node < win[b].Node })
+}
+
+// buildCompactVicinities runs the same per-node truncated Dijkstra sweep as
+// the exact build, but encodes each window straight into a bit-packed
+// buffer, shard by shard.
+func (s *Snapshot) buildCompactVicinities() error {
+	n, k := s.g.N(), s.k
+	s.idWidth = bits.Width(n)
+	s.pWidth = bits.Width(k + 1)
+	s.vicOff = make([]int64, n+1)
+	settled := make([]int32, n)
+	var blob []byte
+	bufs := make([][]byte, min(vicinityShard, n))
+	for base := 0; base < n; base += vicinityShard {
+		m := vicinityShard
+		if base+m > n {
+			m = n - base
+		}
+		parallel.RunScratch(m,
+			func() *encScratch {
+				return &encScratch{sp: graph.NewSSSP(s.g), win: make([]vicinity.Entry, k)}
+			},
+			func(sc *encScratch, i int) {
+				src := graph.NodeID(base + i)
+				sc.sp.RunK(src, k)
+				order := sc.sp.Order()
+				settled[base+i] = int32(len(order))
+				if len(order) != k {
+					bufs[i] = nil
+					return
+				}
+				fillWindow(sc.win, sc.sp, order)
+				sc.w.Reset()
+				encodeWindow(&sc.w, s.idWidth, s.pWidth, sc.win)
+				bufs[i] = append([]byte(nil), sc.w.Bytes()...)
+			})
+		for i := 0; i < m; i++ {
+			s.vicOff[base+i] = int64(len(blob))
+			blob = append(blob, bufs[i]...)
+			bufs[i] = nil
+		}
+	}
+	s.vicOff[n] = int64(len(blob))
+	s.vicBlob = blob
+	return firstShortfall(settled, k)
+}
+
+// encodeWindow appends one window in the wire format above. The window must
+// be sorted by member ID; every parent must be a window member (guaranteed
+// by truncated Dijkstra: a parent settles before its child). An empty
+// window (k=0) encodes to zero bits.
+func encodeWindow(w *bits.Writer, idWidth, pWidth int, win []vicinity.Entry) {
+	if len(win) == 0 {
+		return
+	}
+	w.WriteBits(uint64(win[0].Node), idWidth)
+	for i := 1; i < len(win); i++ {
+		w.WriteGamma(uint64(win[i].Node - win[i-1].Node))
+	}
+	for _, e := range win {
+		idx := len(win) // graph.None sentinel
+		if e.Parent != graph.None {
+			idx = sort.Search(len(win), func(i int) bool { return win[i].Node >= e.Parent })
+			if idx == len(win) || win[idx].Node != e.Parent {
+				// Unreachable on any Dijkstra-built window; a hit means the
+				// window itself is corrupt, not that the input was bad.
+				panic(fmt.Sprintf("snapshot: parent %d of member %d is outside the vicinity window", e.Parent, e.Node))
+			}
+		}
+		w.WriteBits(uint64(idx), pWidth)
+	}
+	for _, e := range win {
+		w.WriteBits(uint64(math.Float32bits(float32(e.Dist))), 32)
+	}
+}
+
+// decodeWindow materializes node v's vicinity window from the shared blob.
+func (s *Snapshot) decodeWindow(v graph.NodeID) []vicinity.Entry {
+	k := s.k
+	if k == 0 {
+		return nil
+	}
+	a, b := s.vicOff[v], s.vicOff[v+1]
+	r := bits.NewReader(s.vicBlob[a:b], int(b-a)*8)
+	entries := make([]vicinity.Entry, k)
+	id := graph.NodeID(r.ReadBits(s.idWidth))
+	entries[0].Node = id
+	for i := 1; i < k; i++ {
+		id += graph.NodeID(r.ReadGamma())
+		entries[i].Node = id
+	}
+	for i := 0; i < k; i++ {
+		idx := int(r.ReadBits(s.pWidth))
+		if idx == k {
+			entries[i].Parent = graph.None
+		} else {
+			entries[i].Parent = entries[idx].Node
+		}
+	}
+	for i := 0; i < k; i++ {
+		entries[i].Dist = float64(math.Float32frombits(uint32(r.ReadBits(32))))
+	}
+	return entries
+}
+
+// compactContains answers w ∈ V(v) straight off the encoded ID stream:
+// member IDs are ascending, so the scan stops at the first ID >= w and
+// never touches the parent/distance sections or materializes the window.
+// This keeps the per-hop membership probes of the forwarding loops cheap
+// in the compact regime.
+func (s *Snapshot) compactContains(v, w graph.NodeID) bool {
+	if s.k == 0 {
+		return false
+	}
+	a, b := s.vicOff[v], s.vicOff[v+1]
+	r := bits.NewReader(s.vicBlob[a:b], int(b-a)*8)
+	id := graph.NodeID(r.ReadBits(s.idWidth))
+	for i := 1; ; i++ {
+		if id >= w {
+			return id == w
+		}
+		if i == s.k {
+			return false
+		}
+		id += graph.NodeID(r.ReadGamma())
+	}
+}
+
+// buildCompactForest writes one bit-packed port-index parent row per
+// landmark. Rows are byte-aligned so parallel row writers touch disjoint
+// bytes.
+func (s *Snapshot) buildCompactForest() error {
+	n := s.g.N()
+	s.degOff = make([]int64, n+1)
+	var pos int64
+	for v := 0; v < n; v++ {
+		s.degOff[v] = pos
+		pos += int64(bits.Width(s.g.Degree(graph.NodeID(v)) + 1))
+	}
+	s.degOff[n] = pos
+	s.rowBytes = int((pos + 7) / 8)
+	s.forest = make([]byte, len(s.landmarks)*s.rowBytes)
+	settled := make([]int32, len(s.landmarks))
+	graph.ForEachSource(s.g, s.landmarks, func(sp *graph.SSSP, row int, lm graph.NodeID) {
+		sp.Run(lm)
+		settled[row] = int32(len(sp.Order()))
+		var w bits.Writer
+		for v := 0; v < n; v++ {
+			deg := s.g.Degree(graph.NodeID(v))
+			port := deg // graph.None sentinel
+			if p := sp.Parent(graph.NodeID(v)); p != graph.None {
+				port = s.g.PortOf(graph.NodeID(v), p)
+			}
+			w.WriteBits(uint64(port), int(s.degOff[v+1]-s.degOff[v]))
+		}
+		copy(s.forest[row*s.rowBytes:(row+1)*s.rowBytes], w.Bytes())
+	})
+	return forestShortfall(settled, s.landmarks, n)
+}
+
+// compactParent decodes one parent field of forest row `row`: the port of
+// v's tree predecessor within v's adjacency list, or deg(v) for None.
+func (s *Snapshot) compactParent(row int, v graph.NodeID) graph.NodeID {
+	width := int(s.degOff[v+1] - s.degOff[v])
+	prow := s.forest[row*s.rowBytes : (row+1)*s.rowBytes]
+	port := bits.At(prow, int(s.degOff[v]), width)
+	if port == uint64(s.g.Degree(v)) {
+		return graph.None
+	}
+	return s.g.NeighborAt(v, int(port)).To
+}

@@ -1,0 +1,41 @@
+package snapshot
+
+import (
+	"unsafe"
+
+	"disco/internal/graph"
+	"disco/internal/vicinity"
+)
+
+// Element sizes derived from the live struct layouts with unsafe.Sizeof,
+// so the footprint report cannot silently drift when an encoding change
+// reshapes an entry — the accounting bug the old hardcoded 16/40-byte
+// constants invited.
+const (
+	entryBytes = int64(unsafe.Sizeof(vicinity.Entry{}))
+	setBytes   = int64(unsafe.Sizeof(vicinity.Set{}))
+	nodeBytes  = int64(unsafe.Sizeof(graph.NodeID(0)))
+	int32Bytes = int64(unsafe.Sizeof(int32(0)))
+	offBytes   = int64(unsafe.Sizeof(int(0)))
+	off64Bytes = int64(unsafe.Sizeof(int64(0)))
+)
+
+// Bytes returns the snapshot's backing-array footprint in bytes — the
+// shared cost that replaces every worker's private caches, in whichever
+// storage regime the snapshot was built. Used by the memory-regression
+// benchmark and the -memprofile report.
+func (s *Snapshot) Bytes() int64 {
+	common := int64(len(s.landmarks))*nodeBytes + int64(len(s.lmRow))*int32Bytes
+	if s.compact {
+		return common +
+			int64(len(s.vicBlob)) +
+			int64(len(s.vicOff))*off64Bytes +
+			int64(len(s.forest)) +
+			int64(len(s.degOff))*off64Bytes
+	}
+	return common +
+		int64(len(s.entries))*entryBytes +
+		int64(len(s.off))*offBytes +
+		int64(len(s.sets))*setBytes +
+		int64(len(s.parents))*nodeBytes
+}

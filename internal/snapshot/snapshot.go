@@ -6,22 +6,30 @@
 // it by pointer, so worker-private state shrinks to counters and small
 // scratch buffers instead of private vicinity maps and tree caches.
 //
-// Layout is flat and index-addressed: all vicinity entries live in one
-// contiguous []vicinity.Entry with per-node offsets (replacing
-// map[graph.NodeID]*vicinity.Set), and landmark trees are parent rows in
-// one contiguous []graph.NodeID (PathFrom/PathTo need only parents; exact
-// distances for arbitrary roots stay with the callers' Dijkstra scratch,
-// keeping the snapshot at Θ(√(n log n)) bytes per node). Reads allocate
-// nothing beyond the returned path slices.
+// Two storage regimes exist behind one API:
+//
+//   - Exact (Build): all vicinity entries live in one contiguous
+//     []vicinity.Entry with per-node offsets, and landmark trees are parent
+//     rows in one contiguous []graph.NodeID. Reads allocate nothing beyond
+//     the returned path slices; Vicinity returns pointers into shared
+//     storage.
+//   - Compact (BuildCompact): the same state bit-packed (see compact.go) at
+//     a fraction of the bytes — member IDs delta-coded, parents as window
+//     indices, distances quantized to float32, forest parents as port
+//     indices. Vicinity reads decode the window into a fresh Set; tree
+//     reads decode single parent fields in place. Distances round-trip
+//     through float32, so figure output is byte-identical on integer-weight
+//     topologies and shifts at most at float32 precision elsewhere; the
+//     exact regime remains the escape hatch (and the default) for any
+//     figure whose output would move.
 //
 // Immutability contract: everything reachable from a Snapshot is read-only
 // after Build returns. Callers must not modify returned sets, entries or
-// paths-backing arrays; Vicinity returns pointers into shared storage.
+// paths-backing arrays.
 package snapshot
 
 import (
 	"fmt"
-	"sort"
 
 	"disco/internal/graph"
 	"disco/internal/pathtree"
@@ -30,81 +38,165 @@ import (
 
 // Snapshot is the shared immutable route state of one converged
 // environment: the vicinity table of every node and the shortest-path
-// forest rooted at every landmark.
+// forest rooted at every landmark, in either the exact or the compact
+// storage regime.
 type Snapshot struct {
 	g *graph.Graph
 	k int // vicinity size actually built (clamped to n)
 
-	// Flat vicinity table: node v's entries are entries[off[v]:off[v+1]],
-	// sorted by member ID. sets[v] is the ready-made Set view over that
-	// window.
+	// Exact regime. Flat vicinity table: node v's entries are
+	// entries[off[v]:off[v+1]], sorted by member ID. sets[v] is the
+	// ready-made Set view over that window. parents[row*n:(row+1)*n] is the
+	// parent array of the tree rooted at landmarks[row].
 	entries []vicinity.Entry
 	off     []int
 	sets    []vicinity.Set
+	parents []graph.NodeID
 
-	// Landmark forest: parents[row*n : (row+1)*n] is the parent array of
-	// the tree rooted at landmarks[row]; lmRow maps a node to its row, or
-	// -1 when the node is not a landmark.
+	// Compact regime (see compact.go for the wire format). vicBlob holds
+	// the byte-aligned bit-packed window of node v at
+	// vicBlob[vicOff[v]:vicOff[v+1]]; forest holds one rowBytes-wide
+	// port-index parent row per landmark, with node v's field at row bit
+	// offset degOff[v], degOff[v+1]-degOff[v] bits wide.
+	compact  bool
+	vicBlob  []byte
+	vicOff   []int64
+	idWidth  int // bits of the first (absolute) member ID: Width(n)
+	pWidth   int // bits of one parent window index: Width(k+1)
+	forest   []byte
+	degOff   []int64
+	rowBytes int
+
+	// Landmark bookkeeping (both regimes): lmRow maps a node to its forest
+	// row, or -1 when the node is not a landmark.
 	landmarks []graph.NodeID
 	lmRow     []int32
-	parents   []graph.NodeID
 }
 
-// Build computes the snapshot for graph g with vicinity size k and the
-// given landmark set, fanning both sweeps out over the parallel worker
-// pool. Each task writes only its own entry window / tree row, so the
-// result is identical at any worker count. The graph must be connected.
-func Build(g *graph.Graph, k int, landmarks []graph.NodeID) *Snapshot {
+// Build computes the exact-regime snapshot for graph g with vicinity size k
+// and the given landmark set, fanning both sweeps out over the parallel
+// worker pool. Each task writes only its own entry window / tree row, so
+// the result is identical at any worker count. The graph must be connected;
+// a disconnected graph returns an error (no worker ever panics mid-pool).
+func Build(g *graph.Graph, k int, landmarks []graph.NodeID) (*Snapshot, error) {
+	return build(g, k, landmarks, false)
+}
+
+// BuildCompact is Build in the compact storage regime: the same route
+// state bit-packed to a fraction of the exact footprint (the regime that
+// makes paper-scale -full runs fit in memory). Vicinity windows are built
+// and encoded shard by shard, so peak transient memory tracks the encoded
+// size instead of the 16-byte-per-entry exact table.
+func BuildCompact(g *graph.Graph, k int, landmarks []graph.NodeID) (*Snapshot, error) {
+	return build(g, k, landmarks, true)
+}
+
+func build(g *graph.Graph, k int, landmarks []graph.NodeID, compact bool) (*Snapshot, error) {
 	g.Finalize()
 	n := g.N()
 	if k > n {
 		k = n
 	}
-	s := &Snapshot{
-		g:         g,
-		k:         k,
-		entries:   make([]vicinity.Entry, n*k),
-		off:       make([]int, n+1),
-		sets:      make([]vicinity.Set, n),
-		landmarks: landmarks,
-		lmRow:     make([]int32, n),
-		parents:   make([]graph.NodeID, len(landmarks)*n),
-	}
-	for v := 0; v <= n; v++ {
-		s.off[v] = v * k
-	}
-
-	// Vicinities: one truncated Dijkstra per node into its own window of
-	// the flat table, then sort the window by member ID (the Set order).
-	graph.ForEachSource(g, graph.AllNodes(g), func(sp *graph.SSSP, i int, src graph.NodeID) {
-		sp.RunK(src, k)
-		order := sp.Order()
-		if len(order) != k {
-			panic(fmt.Sprintf("snapshot: vicinity of %d settled %d of %d nodes (graph disconnected?)", src, len(order), k))
+	// Validate connectivity before the fan-out: a disconnected graph must
+	// surface as a caller-visible error, never as a panic inside a worker
+	// goroutine. The BFS is O(n+m) — noise next to n Dijkstra runs.
+	if n > 0 {
+		if _, comps := g.Components(); comps != 1 {
+			return nil, fmt.Errorf("snapshot: graph has %d connected components; vicinities and landmark trees need a connected graph", comps)
 		}
-		win := s.entries[s.off[i]:s.off[i+1]]
-		for j, w := range order {
-			win[j] = vicinity.Entry{Node: w, Parent: sp.Parent(w), Dist: sp.Dist(w)}
-		}
-		sort.Slice(win, func(a, b int) bool { return win[a].Node < win[b].Node })
-		s.sets[i] = vicinity.MakeSet(src, win)
-	})
-
-	// Landmark forest: one full Dijkstra per landmark into its parent row.
+	}
+	s := &Snapshot{g: g, k: k, compact: compact, landmarks: landmarks, lmRow: make([]int32, n)}
 	for v := range s.lmRow {
 		s.lmRow[v] = -1
 	}
 	for row, lm := range landmarks {
 		s.lmRow[lm] = int32(row)
 	}
-	graph.ForEachSource(g, landmarks, func(sp *graph.SSSP, row int, lm graph.NodeID) {
+	var err error
+	if compact {
+		err = s.buildCompactVicinities()
+	} else {
+		err = s.buildExactVicinities()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if compact {
+		err = s.buildCompactForest()
+	} else {
+		err = s.buildExactForest()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildExactVicinities fills the flat entry table: one truncated Dijkstra
+// per node into its own window, then sort the window by member ID (the Set
+// order). Shortfalls (a vicinity that could not settle k nodes) are
+// collected per task and reported after the sweep.
+func (s *Snapshot) buildExactVicinities() error {
+	n, k := s.g.N(), s.k
+	s.entries = make([]vicinity.Entry, n*k)
+	s.off = make([]int, n+1)
+	s.sets = make([]vicinity.Set, n)
+	for v := 0; v <= n; v++ {
+		s.off[v] = v * k
+	}
+	settled := make([]int32, n)
+	graph.ForEachSource(s.g, graph.AllNodes(s.g), func(sp *graph.SSSP, i int, src graph.NodeID) {
+		sp.RunK(src, k)
+		order := sp.Order()
+		settled[i] = int32(len(order))
+		if len(order) != k {
+			return
+		}
+		win := s.entries[s.off[i]:s.off[i+1]]
+		fillWindow(win, sp, order)
+		s.sets[i] = vicinity.MakeSet(src, win)
+	})
+	return firstShortfall(settled, k)
+}
+
+// buildExactForest computes one full Dijkstra per landmark into its parent
+// row.
+func (s *Snapshot) buildExactForest() error {
+	n := s.g.N()
+	s.parents = make([]graph.NodeID, len(s.landmarks)*n)
+	settled := make([]int32, len(s.landmarks))
+	graph.ForEachSource(s.g, s.landmarks, func(sp *graph.SSSP, row int, lm graph.NodeID) {
 		sp.Run(lm)
+		settled[row] = int32(len(sp.Order()))
 		prow := s.parents[row*n : (row+1)*n]
 		for v := 0; v < n; v++ {
 			prow[v] = sp.Parent(graph.NodeID(v))
 		}
 	})
-	return s
+	return forestShortfall(settled, s.landmarks, n)
+}
+
+// firstShortfall reports the lowest-indexed vicinity that settled fewer
+// than k nodes, or nil. With connectivity pre-validated this is an internal
+// invariant check, but it stays an error — never a worker panic.
+func firstShortfall(settled []int32, k int) error {
+	for v, got := range settled {
+		if int(got) != k {
+			return fmt.Errorf("snapshot: vicinity of node %d settled %d of %d nodes (graph disconnected?)", v, got, k)
+		}
+	}
+	return nil
+}
+
+// forestShortfall is firstShortfall for landmark trees, which must reach
+// every node.
+func forestShortfall(settled []int32, landmarks []graph.NodeID, n int) error {
+	for row, got := range settled {
+		if int(got) != n {
+			return fmt.Errorf("snapshot: landmark %d reaches %d of %d nodes (graph disconnected?)", landmarks[row], got, n)
+		}
+	}
+	return nil
 }
 
 // K returns the vicinity size the table was built with (clamped to n).
@@ -113,40 +205,74 @@ func (s *Snapshot) K() int { return s.k }
 // Graph returns the graph the snapshot was built over.
 func (s *Snapshot) Graph() *graph.Graph { return s.g }
 
+// Compact reports whether the snapshot uses the compact storage regime.
+func (s *Snapshot) Compact() bool { return s.compact }
+
 // Landmarks returns the landmark set (shared slice; do not modify).
 func (s *Snapshot) Landmarks() []graph.NodeID { return s.landmarks }
 
-// Vicinity returns V(v) as a view into the shared flat table. The returned
-// set is immutable and safe for concurrent readers.
-func (s *Snapshot) Vicinity(v graph.NodeID) *vicinity.Set { return &s.sets[v] }
+// Vicinity returns V(v). In the exact regime the returned set is a view
+// into the shared flat table (allocation-free, safe for concurrent
+// readers); in the compact regime it is decoded into a fresh private Set,
+// so the call allocates one window but stays safe for concurrent readers.
+// Callers that only need membership should prefer VicinityContains, which
+// never materializes the window.
+func (s *Snapshot) Vicinity(v graph.NodeID) *vicinity.Set {
+	if s.compact {
+		set := vicinity.MakeSet(v, s.decodeWindow(v))
+		return &set
+	}
+	return &s.sets[v]
+}
+
+// VicinityContains reports w ∈ V(v) without materializing the window in
+// either regime — the cheap probe the per-hop forwarding checks use, where
+// the common answer is "no".
+func (s *Snapshot) VicinityContains(v, w graph.NodeID) bool {
+	if s.compact {
+		return s.compactContains(v, w)
+	}
+	return s.sets[v].Contains(w)
+}
 
 // HasTree reports whether root is a landmark, i.e. whether the snapshot
 // holds its shortest-path tree.
 func (s *Snapshot) HasTree(root graph.NodeID) bool { return s.lmRow[root] >= 0 }
 
-// parentRow returns the parent array of root's tree; root must be a
-// landmark (check HasTree).
-func (s *Snapshot) parentRow(root graph.NodeID) []graph.NodeID {
+// row returns root's forest row; root must be a landmark (check HasTree).
+func (s *Snapshot) row(root graph.NodeID) int {
 	row := s.lmRow[root]
 	if row < 0 {
 		panic(fmt.Sprintf("snapshot: node %d is not a landmark", root))
 	}
-	n := s.g.N()
-	return s.parents[int(row)*n : (int(row)+1)*n]
+	return int(row)
 }
 
 // Parent returns v's predecessor on root's shortest-path tree
 // (graph.None for the root itself) — the data plane's first hop from v
 // toward root; root must be a landmark.
 func (s *Snapshot) Parent(root, v graph.NodeID) graph.NodeID {
-	return s.parentRow(root)[v]
+	row := s.row(root)
+	if s.compact {
+		return s.compactParent(row, v)
+	}
+	n := s.g.N()
+	return s.parents[row*n : (row+1)*n][v]
 }
 
 // PathFrom returns v ⇝ root on root's shortest-path tree (both endpoints
 // included); root must be a landmark.
 func (s *Snapshot) PathFrom(root, v graph.NodeID) []graph.NodeID {
-	parent := s.parentRow(root)
+	row := s.row(root)
 	var out []graph.NodeID
+	if s.compact {
+		for u := v; u != graph.None; u = s.compactParent(row, u) {
+			out = append(out, u)
+		}
+		return out
+	}
+	n := s.g.N()
+	parent := s.parents[row*n : (row+1)*n]
 	for u := v; u != graph.None; u = parent[u] {
 		out = append(out, u)
 	}
@@ -218,21 +344,4 @@ func (t TreeView) PathTo(root, v graph.NodeID) []graph.NodeID {
 		return t.Dest.PathTo(v)
 	}
 	return t.Cache.Tree(root).PathTo(v)
-}
-
-// Bytes returns the snapshot's backing-array footprint in bytes — the
-// shared cost that replaces every worker's private caches. Used by the
-// memory-regression benchmark and the -memprofile report.
-func (s *Snapshot) Bytes() int64 {
-	const (
-		entryBytes = 16 // vicinity.Entry: int32 + int32 + float64
-		nodeBytes  = 4  // graph.NodeID
-		setBytes   = 40 // vicinity.Set header: id + slice + radius
-		offBytes   = 8
-	)
-	return int64(len(s.entries))*entryBytes +
-		int64(len(s.off))*offBytes +
-		int64(len(s.sets))*setBytes +
-		int64(len(s.parents))*nodeBytes +
-		int64(len(s.lmRow))*4
 }

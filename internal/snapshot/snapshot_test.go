@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"disco/internal/graph"
@@ -19,13 +20,26 @@ func buildEnv(t testing.TB, n int, seed int64) *static.Env {
 	return static.NewEnv(g, seed)
 }
 
+func mustBuild(t testing.TB, env *static.Env, k int, compact bool) *Snapshot {
+	t.Helper()
+	build := Build
+	if compact {
+		build = BuildCompact
+	}
+	s, err := build(env.G, k, env.Landmarks)
+	if err != nil {
+		t.Fatalf("snapshot build (compact=%v): %v", compact, err)
+	}
+	return s
+}
+
 // TestSnapshotMatchesLegacy pins the snapshot to the lazily computed
 // state it replaces: every vicinity set and every landmark-tree path must
 // be identical to what the per-instance caches produce.
 func TestSnapshotMatchesLegacy(t *testing.T) {
 	env := buildEnv(t, 192, 7)
 	k := vicinity.DefaultK(env.N())
-	s := Build(env.G, k, env.Landmarks)
+	s := mustBuild(t, env, k, false)
 
 	if s.K() != k {
 		t.Fatalf("K: got %d want %d", s.K(), k)
@@ -76,50 +90,228 @@ func TestSnapshotMatchesLegacy(t *testing.T) {
 	}
 }
 
+// TestCompactMatchesExact pins the compact encoding to the exact regime:
+// member IDs, parents and every landmark-tree path round-trip exactly;
+// distances round-trip through float32 (lossless here — the test topology
+// has unit weights, so distances are small integers).
+func TestCompactMatchesExact(t *testing.T) {
+	env := buildEnv(t, 192, 7)
+	k := vicinity.DefaultK(env.N())
+	exact := mustBuild(t, env, k, false)
+	compact := mustBuild(t, env, k, true)
+	if !compact.Compact() || exact.Compact() {
+		t.Fatal("Compact() regime flags wrong")
+	}
+
+	for v := 0; v < env.N(); v++ {
+		want := exact.Vicinity(graph.NodeID(v))
+		got := compact.Vicinity(graph.NodeID(v))
+		if got.Src != want.Src || got.Size() != want.Size() {
+			t.Fatalf("vicinity %d: header mismatch", v)
+		}
+		for i, e := range want.Entries {
+			ge := got.Entries[i]
+			if ge.Node != e.Node || ge.Parent != e.Parent {
+				t.Fatalf("vicinity %d entry %d: got %+v want %+v", v, i, ge, e)
+			}
+			if ge.Dist != float64(float32(e.Dist)) {
+				t.Fatalf("vicinity %d entry %d: dist %v is not float32(%v)", v, i, ge.Dist, e.Dist)
+			}
+		}
+		if got.Radius() != float64(float32(want.Radius())) {
+			t.Fatalf("vicinity %d: radius %v want float32(%v)", v, got.Radius(), want.Radius())
+		}
+	}
+
+	// The materialization-free membership probe must agree with the full
+	// set in both regimes, including the just-outside-the-window IDs a
+	// sequential delta scan is most likely to misjudge.
+	for v := 0; v < env.N(); v += 3 {
+		set := exact.Vicinity(graph.NodeID(v))
+		for w := -1; w <= env.N(); w++ {
+			want := set.Contains(graph.NodeID(w))
+			if got := compact.VicinityContains(graph.NodeID(v), graph.NodeID(w)); got != want {
+				t.Fatalf("compact VicinityContains(%d,%d)=%v want %v", v, w, got, want)
+			}
+			if got := exact.VicinityContains(graph.NodeID(v), graph.NodeID(w)); got != want {
+				t.Fatalf("exact VicinityContains(%d,%d)=%v want %v", v, w, got, want)
+			}
+		}
+	}
+
+	for _, lm := range env.Landmarks {
+		for v := 0; v < env.N(); v++ {
+			if gp, wp := compact.Parent(lm, graph.NodeID(v)), exact.Parent(lm, graph.NodeID(v)); gp != wp {
+				t.Fatalf("Parent(%d,%d): got %d want %d", lm, v, gp, wp)
+			}
+		}
+		for v := 0; v < env.N(); v += 5 {
+			got := compact.PathFrom(lm, graph.NodeID(v))
+			want := exact.PathFrom(lm, graph.NodeID(v))
+			if len(got) != len(want) {
+				t.Fatalf("PathFrom(%d,%d): len %d want %d", lm, v, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("PathFrom(%d,%d)[%d]: got %d want %d", lm, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildDisconnected is the error path the old Build hid behind a panic
+// inside a worker goroutine: both regimes must reject a disconnected graph
+// with a diagnosable error before any fan-out crashes the process.
+func TestBuildDisconnected(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.Finalize()
+	for _, build := range []struct {
+		name string
+		fn   func(*graph.Graph, int, []graph.NodeID) (*Snapshot, error)
+	}{{"exact", Build}, {"compact", BuildCompact}} {
+		t.Run(build.name, func(t *testing.T) {
+			s, err := build.fn(g, 3, []graph.NodeID{0})
+			if err == nil {
+				t.Fatal("Build on a disconnected graph must return an error")
+			}
+			if s != nil {
+				t.Fatal("failed Build must return a nil snapshot")
+			}
+			if !strings.Contains(err.Error(), "components") {
+				t.Errorf("error should name the component count: %v", err)
+			}
+		})
+	}
+}
+
+// TestBuildSingleNode exercises the degenerate boundary (n=1, k=1, the
+// node its own landmark) in both regimes.
+func TestBuildSingleNode(t *testing.T) {
+	g := graph.New(1)
+	g.Finalize()
+	for _, compact := range []bool{false, true} {
+		build := Build
+		if compact {
+			build = BuildCompact
+		}
+		s, err := build(g, 1, []graph.NodeID{0})
+		if err != nil {
+			t.Fatalf("compact=%v: %v", compact, err)
+		}
+		set := s.Vicinity(0)
+		if set.Size() != 1 || !set.Contains(0) || set.Dist(0) != 0 {
+			t.Fatalf("compact=%v: vicinity of the only node wrong: %+v", compact, set.Entries)
+		}
+		if p := s.Parent(0, 0); p != graph.None {
+			t.Fatalf("compact=%v: root parent = %d, want None", compact, p)
+		}
+	}
+}
+
+// TestBuildZeroK pins the k=0 boundary: both regimes must return a
+// snapshot with empty vicinities (no worker panic on the empty window).
+func TestBuildZeroK(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.Finalize()
+	for _, compact := range []bool{false, true} {
+		build := Build
+		if compact {
+			build = BuildCompact
+		}
+		s, err := build(g, 0, []graph.NodeID{0})
+		if err != nil {
+			t.Fatalf("compact=%v: %v", compact, err)
+		}
+		if got := s.Vicinity(1); got.Size() != 0 || got.Contains(1) {
+			t.Errorf("compact=%v: k=0 vicinity should be empty, got %d entries", compact, got.Size())
+		}
+	}
+}
+
 // bytesPerNode builds the snapshot for a G(n,m) environment and returns
 // its shared footprint per node.
-func bytesPerNode(t testing.TB, n int, seed int64) float64 {
+func bytesPerNode(t testing.TB, n int, seed int64, compact bool) float64 {
 	env := buildEnv(t, n, seed)
-	s := Build(env.G, vicinity.DefaultK(n), env.Landmarks)
+	s := mustBuild(t, env, vicinity.DefaultK(n), compact)
 	return float64(s.Bytes()) / float64(n)
 }
 
 // TestSnapshotBytesSublinear is the memory-regression guard: snapshot
 // bytes per node must grow like the paper's Θ(√(n log n)) state bound,
-// not Θ(n). A linear-state regression (e.g. accidentally storing full
-// trees per node) multiplies bytes/node by n2/n1 = 16 between the probed
-// sizes; the √(n log n) law predicts ~4.9x. The test rejects anything
-// past halfway to linear.
+// not Θ(n), in both storage regimes. A linear-state regression (e.g.
+// accidentally storing full trees per node) multiplies bytes/node by
+// n2/n1 = 16 between the probed sizes; the √(n log n) law predicts ~4.9x.
+// The test rejects anything past halfway to linear.
 func TestSnapshotBytesSublinear(t *testing.T) {
 	const n1, n2 = 256, 4096
-	b1 := bytesPerNode(t, n1, 1)
-	b2 := bytesPerNode(t, n2, 1)
-	ratio := b2 / b1
-	sqrtLaw := math.Sqrt(float64(n2) * math.Log2(float64(n2)) / (float64(n1) * math.Log2(float64(n1))))
-	linear := float64(n2) / float64(n1)
-	t.Logf("bytes/node: n=%d %.0f, n=%d %.0f, ratio %.2f (√(n log n) law %.2f, linear %.0f)", n1, b1, n2, b2, ratio, sqrtLaw, linear)
-	if ratio > sqrtLaw*1.75 {
-		t.Errorf("bytes/node grew %.2fx from n=%d to n=%d; √(n log n) predicts %.2fx — snapshot state is no longer compact", ratio, n1, n2, sqrtLaw)
+	for _, regime := range []struct {
+		name    string
+		compact bool
+	}{{"exact", false}, {"compact", true}} {
+		t.Run(regime.name, func(t *testing.T) {
+			b1 := bytesPerNode(t, n1, 1, regime.compact)
+			b2 := bytesPerNode(t, n2, 1, regime.compact)
+			ratio := b2 / b1
+			sqrtLaw := math.Sqrt(float64(n2) * math.Log2(float64(n2)) / (float64(n1) * math.Log2(float64(n1))))
+			linear := float64(n2) / float64(n1)
+			t.Logf("bytes/node: n=%d %.0f, n=%d %.0f, ratio %.2f (√(n log n) law %.2f, linear %.0f)", n1, b1, n2, b2, ratio, sqrtLaw, linear)
+			if ratio > sqrtLaw*1.75 {
+				t.Errorf("bytes/node grew %.2fx from n=%d to n=%d; √(n log n) predicts %.2fx — snapshot state is no longer compact", ratio, n1, n2, sqrtLaw)
+			}
+			if ratio > linear/2 {
+				t.Errorf("bytes/node growth %.2fx is within 2x of linear (%.0fx) — Θ(n) state regression", ratio, linear)
+			}
+		})
 	}
-	if ratio > linear/2 {
-		t.Errorf("bytes/node growth %.2fx is within 2x of linear (%.0fx) — Θ(n) state regression", ratio, linear)
+}
+
+// TestCompactReduction is the tentpole's acceptance bar: at the standard
+// n=4096 probe the compact encoding must undercut the exact footprint by
+// at least 40%.
+func TestCompactReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: builds two n=4096 snapshots")
+	}
+	const n = 4096
+	env := buildEnv(t, n, 1)
+	k := vicinity.DefaultK(n)
+	exact := mustBuild(t, env, k, false)
+	compact := mustBuild(t, env, k, true)
+	eb, cb := exact.Bytes(), compact.Bytes()
+	reduction := 1 - float64(cb)/float64(eb)
+	t.Logf("n=%d: exact %.0f bytes/node, compact %.0f bytes/node (%.1f%% reduction)",
+		n, float64(eb)/n, float64(cb)/n, 100*reduction)
+	if reduction < 0.40 {
+		t.Errorf("compact encoding saves only %.1f%% at n=%d; the regime promises >= 40%%", 100*reduction, n)
 	}
 }
 
 // BenchmarkSnapshotMemory records the snapshot's shared bytes/node and
-// build cost at the standard probe sizes. The bytes/node metric is the
-// number the ROADMAP's -full feasibility estimate scales up from.
+// build cost at the standard probe sizes in both storage regimes. The
+// bytes/node metric is the number the ROADMAP's -full feasibility estimate
+// scales up from.
 func BenchmarkSnapshotMemory(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			env := buildEnv(b, n, 1)
-			k := vicinity.DefaultK(n)
-			b.ResetTimer()
-			var s *Snapshot
-			for i := 0; i < b.N; i++ {
-				s = Build(env.G, k, env.Landmarks)
-			}
-			b.ReportMetric(float64(s.Bytes())/float64(n), "bytes/node")
-		})
+		env := buildEnv(b, n, 1)
+		k := vicinity.DefaultK(n)
+		for _, regime := range []struct {
+			name    string
+			compact bool
+		}{{"exact", false}, {"compact", true}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, regime.name), func(b *testing.B) {
+				var s *Snapshot
+				for i := 0; i < b.N; i++ {
+					s = mustBuild(b, env, k, regime.compact)
+				}
+				b.ReportMetric(float64(s.Bytes())/float64(n), "bytes/node")
+			})
+		}
 	}
 }
