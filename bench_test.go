@@ -350,7 +350,21 @@ func BenchmarkAblationForgetfulRouting(b *testing.B) {
 // failure vs initial convergence (§5 "future work" dynamics).
 func BenchmarkAblationChurnCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		show(b, eval.ChurnCost(256, benchSeed, 3).Format())
+		r, err := eval.ChurnCost(256, benchSeed, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		show(b, r.Format())
+	}
+}
+
+// BenchmarkFailureScenarios: the failure-family wall time is dominated by
+// incremental snapshot repair plus per-pair routing over repaired state —
+// the cost that blast-radius repair (vs full rebuilds per trial) keeps
+// proportional to the failures, not to n.
+func BenchmarkFailureScenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		show(b, eval.FailureScenarios(eval.TopoGnm, 512, benchSeed, 100).Format())
 	}
 }
 

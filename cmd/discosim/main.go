@@ -21,7 +21,7 @@
 // order (see internal/parallel).
 //
 // Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 addrsize
-// accuracy nerror fingers imbalance landmarks tradeoff churn.
+// accuracy nerror fingers imbalance landmarks tradeoff churn failures.
 // (TestDocListsEveryExperiment keeps this list in sync with the
 // experiments table below; -list prints the authoritative table.)
 package main
@@ -137,7 +137,20 @@ var experiments = []experiment{
 		fmt.Print(eval.TradeoffSweep(eval.TopoGnm, pick(o.n, 2048, 16384, o.full), []int{1, 2, 3, 4}, o.seed, o.pairs).Format())
 	}},
 	{"churn", "messages to re-converge after a link failure (§5 future work)", func(o opts) {
-		fmt.Print(eval.ChurnCost(pick(o.n, 256, 1024, o.full), o.seed, 5).Format())
+		r, err := eval.ChurnCost(pick(o.n, 256, 1024, o.full), o.seed, 5)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Format())
+	}},
+	{"failures", "delivery and stretch after link/node/region failures on repaired snapshots", func(o opts) {
+		kind := eval.TopoGnm
+		n := pick(o.n, 1024, 192244, o.full)
+		if o.full && o.n == 0 {
+			kind = eval.TopoRouterLike // paper-scale: the router-level map
+		}
+		fmt.Print(eval.FailureScenarios(kind, n, o.seed, o.pairs).Format())
 	}},
 }
 

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"disco/internal/graph"
+	"disco/internal/snapshot"
+)
+
+// Routing over repaired route state: after link or node failures, the
+// control plane's triggered updates rebuild exactly the vicinity windows
+// and landmark trees snapshot.ApplyFailures recomputes, so the repaired
+// snapshot IS the post-re-convergence data plane. This file forwards on
+// it without ever consulting pre-failure state that a real node would
+// have invalidated — the stale explicit-route addresses in static.Env,
+// the old landmark assignment of a node whose landmark became
+// unreachable — and returns ok=false instead of panicking when a
+// destination is genuinely undeliverable (partitioned away, or in a
+// component that lost all its landmarks). Delivery ratio, not a crash,
+// is the observable.
+
+// ForkRepaired returns a routing view of r over the repaired snapshot:
+// the environment's immutable parts (names, landmark identities) are
+// shared and the repaired snapshot supplies vicinities and landmark
+// trees. The fork must route ONLY via RepairedFirstRoute/
+// RepairedLaterRoute — those never read the pre-failure addresses, and
+// the fork carries no destination scratch (none of the repaired paths
+// needs one), so the ordinary Env-bound route methods are off limits.
+func (r *NDDisco) ForkRepaired(rep *snapshot.Snapshot) *NDDisco {
+	return &NDDisco{Env: r.Env, K: r.K, snap: rep}
+}
+
+// rehomeLandmark returns the landmark the repaired control plane homes t
+// to: t's original landmark while its tree still reaches t, else the
+// lowest-ID landmark whose repaired tree does (the deterministic
+// re-registration rule), or graph.None when t's component lost every
+// landmark — the undeliverable case.
+func (r *NDDisco) rehomeLandmark(t graph.NodeID) graph.NodeID {
+	if lm := r.Env.LMOf[t]; r.snap.Reaches(lm, t) {
+		return lm
+	}
+	best := graph.None
+	for _, lm := range r.Env.Landmarks {
+		if (best == graph.None || lm < best) && r.snap.Reaches(lm, t) {
+			best = lm
+		}
+	}
+	return best
+}
+
+// RepairedFirstRoute returns the first-packet route s ⇝ t on the repaired
+// data plane — vicinity hit, or landmark leg with the refreshed explicit
+// route and To-Destination shortcutting — and ok=false when no route
+// exists. Requires a repaired (or any) snapshot installed via
+// ForkRepaired.
+func (r *NDDisco) RepairedFirstRoute(s, t graph.NodeID) ([]graph.NodeID, bool) {
+	if direct, ok := r.repairedDirect(s, t); direct != nil || !ok {
+		return direct, ok
+	}
+	return r.repairedLandmarkRoute(s, t)
+}
+
+// RepairedLaterRoute is RepairedFirstRoute after the handshake: if t's
+// repaired vicinity contains s, t has installed the exact reverse path.
+func (r *NDDisco) RepairedLaterRoute(s, t graph.NodeID) ([]graph.NodeID, bool) {
+	if direct, ok := r.repairedDirect(s, t); direct != nil || !ok {
+		return direct, ok
+	}
+	if vt := r.snap.Vicinity(t); vt.Contains(s) {
+		p := vt.PathTo(s)
+		rev := make([]graph.NodeID, len(p))
+		for i := range p {
+			rev[len(p)-1-i] = p[i]
+		}
+		return rev, true
+	}
+	return r.repairedLandmarkRoute(s, t)
+}
+
+// repairedDirect handles the cases where s knows a live shortest path to
+// t outright: s == t, t a still-reachable landmark, or t in s's repaired
+// vicinity. It returns (nil, true) when none applies (fall through) and
+// (nil, false) when t is a landmark s cannot reach.
+func (r *NDDisco) repairedDirect(s, t graph.NodeID) ([]graph.NodeID, bool) {
+	if s == t {
+		return []graph.NodeID{s}, true
+	}
+	if r.Env.IsLM[t] {
+		if !r.snap.Reaches(t, s) {
+			return nil, false
+		}
+		return r.snap.PathFrom(t, s), true
+	}
+	if r.snap.VicinityContains(s, t) {
+		return r.snap.Vicinity(s).PathTo(t), true
+	}
+	return nil, true
+}
+
+// repairedLandmarkRoute is the landmark leg s ⇝ l_t ⇝ t over repaired
+// trees, with the To-Destination splice at the first en-route node whose
+// repaired vicinity knows t.
+func (r *NDDisco) repairedLandmarkRoute(s, t graph.NodeID) ([]graph.NodeID, bool) {
+	lm := r.rehomeLandmark(t)
+	if lm == graph.None || !r.snap.Reaches(lm, s) {
+		return nil, false
+	}
+	route := joinPaths(r.snap.PathFrom(lm, s), r.snap.PathTo(lm, t))
+	return r.repairedWalkToDest(route, t), true
+}
+
+// repairedWalkToDest applies To-Destination shortcutting along route: the
+// packet peels off to the direct path at the first node whose repaired
+// vicinity contains t (every node on a shortest sub-path to t then also
+// knows it, so one splice is final).
+func (r *NDDisco) repairedWalkToDest(route []graph.NodeID, t graph.NodeID) []graph.NodeID {
+	for i, u := range route {
+		if u == t {
+			return route[:i+1]
+		}
+		if r.snap.VicinityContains(u, t) {
+			direct := r.snap.Vicinity(u).PathTo(t)
+			return append(route[:i:i], direct...)
+		}
+	}
+	return route
+}
+
+// ForkRepaired returns a Disco routing view over the repaired snapshot
+// (see NDDisco.ForkRepaired). Resolution DB, grouping view and overlay
+// are converged name-space state — independent of topology — and stay
+// shared.
+func (d *Disco) ForkRepaired(rep *snapshot.Snapshot) *Disco {
+	return &Disco{
+		ND:       d.ND.ForkRepaired(rep),
+		DB:       d.DB,
+		View:     d.View,
+		Net:      d.Net,
+		K:        d.K,
+		closestW: d.closestW,
+	}
+}
+
+// RepairedFirstRoute routes a first packet given only t's name, on the
+// repaired data plane: s ⇝ w (the repaired-vicinity group member holding
+// t's refreshed address) ⇝ l_t ⇝ t, falling back to the landmark
+// resolution database. ok=false when neither the group member path nor
+// the resolution owner can reach t.
+func (d *Disco) RepairedFirstRoute(s, t graph.NodeID) ([]graph.NodeID, bool) {
+	nd := d.ND
+	if direct, ok := nd.repairedDirect(s, t); direct != nil || !ok {
+		return direct, ok
+	}
+	if d.HasAddress(s, t) {
+		return nd.RepairedFirstRoute(s, t)
+	}
+	if w, ok := d.FindGroupMember(s, t); ok {
+		head := nd.snap.Vicinity(s).PathTo(w)
+		rest, ok2 := nd.RepairedFirstRoute(w, t)
+		if !ok2 {
+			return nil, false
+		}
+		return nd.repairedWalkToDest(joinPaths(head, rest), t), true
+	}
+	// Resolution fallback: the owning landmark answers the query and
+	// forwards — both legs must survive the failures.
+	d.fallbacks++
+	d.misses++
+	owner := d.DB.OwnerOf(d.Env().HashOf(t))
+	if !nd.snap.Reaches(owner, s) {
+		return nil, false
+	}
+	rest, ok := nd.RepairedFirstRoute(owner, t)
+	if !ok {
+		return nil, false
+	}
+	return nd.repairedWalkToDest(joinPaths(nd.snap.PathFrom(owner, s), rest), t), true
+}

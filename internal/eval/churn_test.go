@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"disco/internal/graph"
+)
+
+// dumbbell builds two 4-cliques joined by a single bridge (0—4): a graph
+// where a uniform link draw has a real chance of landing on the bridge.
+func dumbbell() *graph.Graph {
+	g := graph.New(8)
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			g.AddEdge(graph.NodeID(a), graph.NodeID(b), 1)
+			g.AddEdge(graph.NodeID(a+4), graph.NodeID(b+4), 1)
+		}
+	}
+	g.AddEdge(0, 4, 1)
+	g.Finalize()
+	return g
+}
+
+// naiveDrawHitsBridge replicates the pre-fix draw sequence (uniform node,
+// uniform incident link, no bridge check) and reports whether any of the
+// `trials` draws lands on a bridge.
+func naiveDrawHitsBridge(g *graph.Graph, seed int64, trials int) bool {
+	bridges := g.Bridges()
+	rng := rand.New(rand.NewSource(seed + 9000))
+	for i := 0; i < trials; i++ {
+		u := graph.NodeID(rng.Intn(g.N()))
+		es := g.Neighbors(u)
+		e := es[rng.Intn(len(es))]
+		if bridges[e.EID] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChurnCostRedrawsBridges is the regression test for the documented
+// "random (non-bridge) links" contract: on a graph with a known bridge,
+// and a seed whose unchecked draw sequence provably lands on it, every
+// link ChurnCost actually fails must be a non-bridge. The pre-fix code
+// (uniform draw, no bridge check) fails exactly this assertion.
+func TestChurnCostRedrawsBridges(t *testing.T) {
+	g := dumbbell()
+	const trials = 4
+	seed := int64(-1)
+	for s := int64(0); s < 500; s++ {
+		if naiveDrawHitsBridge(g, s, trials) {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no seed in [0,500) drives the unchecked draw onto the bridge — widen the search")
+	}
+	r, err := ChurnCostOn(g, seed, trials)
+	if err != nil {
+		t.Fatalf("ChurnCostOn: %v", err)
+	}
+	if len(r.Failed) != trials {
+		t.Fatalf("recorded %d failed links, want %d", len(r.Failed), trials)
+	}
+	bridges := g.Bridges()
+	for _, f := range r.Failed {
+		id := g.EdgeID(f.U, f.V)
+		if id < 0 {
+			t.Fatalf("failed link %d-%d does not exist", f.U, f.V)
+		}
+		if bridges[id] {
+			t.Errorf("ChurnCost failed bridge %d-%d: the non-bridge redraw is broken", f.U, f.V)
+		}
+	}
+}
+
+// TestChurnCostValidation pins the input-validation errors and the
+// degenerate cases that previously printed NaN/Inf.
+func TestChurnCostValidation(t *testing.T) {
+	if _, err := ChurnCost(1, 1, 3); err == nil {
+		t.Error("n < 2 should error")
+	}
+	if _, err := ChurnCost(64, 1, 0); err == nil {
+		t.Error("trials = 0 should error")
+	}
+	if _, err := ChurnCostOn(dumbbell(), 1, -1); err == nil {
+		t.Error("negative trials should error")
+	}
+	// A tree has only bridges: no valid trial exists.
+	tree := graph.New(4)
+	tree.AddEdge(0, 1, 1)
+	tree.AddEdge(1, 2, 1)
+	tree.AddEdge(2, 3, 1)
+	tree.Finalize()
+	if _, err := ChurnCostOn(tree, 1, 1); err == nil {
+		t.Error("all-bridge graph should error")
+	}
+	// Format never emits NaN/Inf, even on a zero-initial result.
+	degenerate := &ChurnResult{N: 8, Trials: 1}
+	if out := degenerate.Format(); strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("Format printed NaN/Inf:\n%s", out)
+	}
+}
+
+// TestChurnCostDisconnectedErrors: a disconnected graph (two separate
+// triangles — plenty of non-bridge links) must be rejected, not averaged
+// into skewed messages/node figures.
+func TestChurnCostDisconnectedErrors(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(5, 3, 1)
+	g.Finalize()
+	if _, err := ChurnCostOn(g, 1, 1); err == nil {
+		t.Error("disconnected graph should error")
+	}
+}

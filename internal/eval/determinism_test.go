@@ -49,7 +49,14 @@ func TestWorkerCountInvariance(t *testing.T) {
 		{"LandmarkStrategies", false, func() string { return LandmarkStrategies(TopoASLike, 192, 15, 40).Format() }},
 		{"EstimateError", false, func() string { return EstimateError(192, 11, 0.4, 40).Format() }},
 		{"TradeoffSweep", false, func() string { return TradeoffSweep(TopoGnm, 192, []int{1, 2, 3}, 19, 40).Format() }},
-		{"ChurnCost", true, func() string { return ChurnCost(96, 17, 2).Format() }},
+		{"ChurnCost", true, func() string {
+			r, err := ChurnCost(96, 17, 2)
+			if err != nil {
+				return "churn error: " + err.Error()
+			}
+			return r.Format()
+		}},
+		{"FailureScenarios", true, func() string { return FailureScenarios(TopoGnm, 192, 21, 40).Format() }},
 	}
 	pooledWorkers := *invarianceWorkers
 	if pooledWorkers < 1 {

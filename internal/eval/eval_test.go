@@ -298,7 +298,10 @@ func TestTradeoffSweepSmall(t *testing.T) {
 }
 
 func TestChurnCostSmall(t *testing.T) {
-	r := ChurnCost(128, 17, 3)
+	r, err := ChurnCost(128, 17, 3)
+	if err != nil {
+		t.Fatalf("ChurnCost: %v", err)
+	}
 	if r.Initial <= 0 {
 		t.Fatal("no initial messages")
 	}

@@ -1,0 +1,333 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"disco/internal/core"
+	"disco/internal/graph"
+	"disco/internal/metrics"
+	"disco/internal/parallel"
+	"disco/internal/pathtree"
+	"disco/internal/s4"
+	"disco/internal/snapshot"
+)
+
+// The failure-scenario experiment family: the paper evaluates messaging
+// "during initial convergence only, leaving continuous churn to future
+// work" (§5), and the churn experiment prices the control messages of one
+// failure. This file measures the other half — what the data plane
+// delivers AFTER failures — by repairing the shared route-state snapshot
+// incrementally (snapshot.ApplyFailures, blast-radius cost) and routing
+// Disco/NDDisco/S4 over the repaired state: random link failures, random
+// node failures, regional outages (a failed BFS ball) and link flapping,
+// reporting delivery ratio and post-failure stretch against shortest
+// paths on the failed topology. Because repair shares every untouched
+// shard with the parent snapshot, the family runs at the same paper-scale
+// sizes the compact encoding unlocked (-full).
+
+// legAgg accumulates one leg's delivered-pair count and stretch sum.
+// Legs are indexed in column order: Disco-first, ND-first, ND-later,
+// S4-first, S4-later.
+type legAgg struct {
+	Delivered  int
+	StretchSum float64
+}
+
+// FailureRow is one scenario × parameter row of the failures table,
+// aggregated over its trials.
+type FailureRow struct {
+	Scenario string
+	Param    string
+	Trials   int
+
+	LinksFailed int     // total links failed, summed over trials
+	Repairs     int     // ApplyFailures calls performed (flap > trials)
+	ShardsPct   float64 // mean % of snapshot shards rebuilt per repair
+
+	Pairs     int // sampled pairs, summed over trials
+	Connected int // pairs whose endpoints remain connected
+	Legs      [5]legAgg
+}
+
+// FailureResult is the full table.
+type FailureResult struct {
+	Kind   TopoKind
+	N      int
+	PairsN int // pairs sampled per trial
+	Rows   []FailureRow
+}
+
+// Format renders the table: per row the repair cost (percentage of
+// snapshot shards — vicinity windows plus forest rows — rebuilt per
+// repair), the surviving connectivity, and per-leg delivery ratio and
+// mean stretch over delivered pairs.
+func (r *FailureResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Failure scenarios — %s, n=%d (%d pairs × trials per row; stretch vs shortest path on the failed topology)\n",
+		r.Kind, r.N, r.PairsN)
+	fmt.Fprintf(&b, "  %-12s %-9s %6s %8s %7s |%8s %7s %7s %7s %7s |%8s %8s %8s %8s %8s\n",
+		"scenario", "param", "links", "shards%", "conn%",
+		"dlv:D-f", "ND-f", "ND-l", "S4-f", "S4-l",
+		"st:D-f", "ND-f", "ND-l", "S4-f", "S4-l")
+	for _, row := range r.Rows {
+		conn := 0.0
+		if row.Pairs > 0 {
+			conn = 100 * float64(row.Connected) / float64(row.Pairs)
+		}
+		dlv := func(leg int) float64 {
+			if row.Connected == 0 {
+				return 0
+			}
+			return 100 * float64(row.Legs[leg].Delivered) / float64(row.Connected)
+		}
+		st := func(leg int) float64 {
+			if row.Legs[leg].Delivered == 0 {
+				return 0
+			}
+			return row.Legs[leg].StretchSum / float64(row.Legs[leg].Delivered)
+		}
+		fmt.Fprintf(&b, "  %-12s %-9s %6.1f %8.2f %7.1f |%8.1f %7.1f %7.1f %7.1f %7.1f |%8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			row.Scenario, row.Param,
+			float64(row.LinksFailed)/float64(row.Trials), row.ShardsPct, conn,
+			dlv(0), dlv(1), dlv(2), dlv(3), dlv(4),
+			st(0), st(1), st(2), st(3), st(4))
+	}
+	return b.String()
+}
+
+// failureSpec defines one row's failure-drawing rule.
+type failureSpec struct {
+	scenario string
+	param    string
+	flaps    int // > 1 for the flapping scenario
+	draw     func(rng *rand.Rand, g *graph.Graph, edges []graph.EdgeKey) []graph.EdgeKey
+}
+
+// failureSpecs builds the scenario grid for size n over base graph g.
+func failureSpecs(n int, g *graph.Graph) []failureSpec {
+	m := g.M()
+	pickEdges := func(rng *rand.Rand, edges []graph.EdgeKey, count int) []graph.EdgeKey {
+		seen := make(map[int]bool, count)
+		out := make([]graph.EdgeKey, 0, count)
+		for len(out) < count {
+			i := rng.Intn(len(edges))
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			out = append(out, edges[i])
+		}
+		return out
+	}
+	linkRow := func(f float64) failureSpec {
+		count := int(math.Round(f * float64(m)))
+		if count < 1 {
+			count = 1
+		}
+		return failureSpec{
+			scenario: "link-random",
+			param:    fmt.Sprintf("f=%.1f%%", 100*f),
+			draw: func(rng *rand.Rand, g *graph.Graph, edges []graph.EdgeKey) []graph.EdgeKey {
+				return pickEdges(rng, edges, count)
+			},
+		}
+	}
+	incident := func(g *graph.Graph, nodes []graph.NodeID) []graph.EdgeKey {
+		var out []graph.EdgeKey
+		for _, v := range nodes {
+			for _, e := range g.Neighbors(v) {
+				out = append(out, (graph.EdgeKey{U: v, V: e.To}).Norm())
+			}
+		}
+		return out // ApplyFailures deduplicates
+	}
+	nodeRow := func(f float64) failureSpec {
+		count := int(math.Round(f * float64(n)))
+		if count < 1 {
+			count = 1
+		}
+		return failureSpec{
+			scenario: "node-random",
+			param:    fmt.Sprintf("f=%.1f%%", 100*f),
+			draw: func(rng *rand.Rand, g *graph.Graph, edges []graph.EdgeKey) []graph.EdgeKey {
+				seen := make(map[graph.NodeID]bool, count)
+				nodes := make([]graph.NodeID, 0, count)
+				for len(nodes) < count {
+					v := graph.NodeID(rng.Intn(n))
+					if seen[v] {
+						continue
+					}
+					seen[v] = true
+					nodes = append(nodes, v)
+				}
+				return incident(g, nodes)
+			},
+		}
+	}
+	regionRow := func(ball int) failureSpec {
+		return failureSpec{
+			scenario: "region",
+			param:    fmt.Sprintf("ball=%d", ball),
+			draw: func(rng *rand.Rand, g *graph.Graph, edges []graph.EdgeKey) []graph.EdgeKey {
+				center := graph.NodeID(rng.Intn(n))
+				sp := graph.NewSSSP(g)
+				sp.RunK(center, ball)
+				nodes := append([]graph.NodeID(nil), sp.Order()...)
+				return incident(g, nodes)
+			},
+		}
+	}
+	ball1, ball2 := n/128, n/32
+	if ball1 < 8 {
+		ball1 = 8
+	}
+	if ball2 < 16 {
+		ball2 = 16
+	}
+	return []failureSpec{
+		linkRow(0.002),
+		linkRow(0.01),
+		linkRow(0.05),
+		nodeRow(0.005),
+		nodeRow(0.02),
+		regionRow(ball1),
+		regionRow(ball2),
+		{
+			scenario: "flap",
+			param:    "1 link ×5",
+			flaps:    5,
+			draw: func(rng *rand.Rand, g *graph.Graph, edges []graph.EdgeKey) []graph.EdgeKey {
+				return pickEdges(rng, edges, 1)
+			},
+		},
+	}
+}
+
+// FailureScenarios runs the family on one topology: build the converged
+// environment and its shared snapshot once, then per trial draw a failure
+// set, repair the snapshot incrementally, and route sampled pairs over
+// the repaired state. Trials derive their randomness via the TaskSeed
+// rule and pair routing fans out over the worker pool with results merged
+// in pair order, so output is bit-identical at any -workers value.
+func FailureScenarios(kind TopoKind, n int, seed int64, pairs int) *FailureResult {
+	const trials = 3
+	p := BuildProtocols(kind, n, seed)
+	g := p.Env.G
+	snap := buildSnapshot(g, p.Disco.ND.K, p.Env.Landmarks)
+
+	// Edge list indexed by EID for uniform link draws.
+	edges := make([]graph.EdgeKey, g.M())
+	for u := 0; u < n; u++ {
+		for _, e := range g.Neighbors(graph.NodeID(u)) {
+			if e.To > graph.NodeID(u) {
+				edges[e.EID] = graph.EdgeKey{U: graph.NodeID(u), V: e.To}
+			}
+		}
+	}
+
+	res := &FailureResult{Kind: kind, N: n, PairsN: pairs}
+	for rowIdx, spec := range failureSpecs(n, g) {
+		row := FailureRow{Scenario: spec.scenario, Param: spec.param, Trials: trials}
+		for trial := 0; trial < trials; trial++ {
+			rng := parallel.TaskRNG(seed*1000003+int64(rowIdx), trial)
+			fails := spec.draw(rng, g, edges)
+			rep, err := snap.ApplyFailures(fails)
+			if err != nil {
+				panic(fmt.Sprintf("eval: failure repair: %v", err))
+			}
+			st := rep.RepairStats()
+			flaps := spec.flaps
+			if flaps < 1 {
+				flaps = 1
+			}
+			// A flapping link repairs once per down transition; the parent
+			// snapshot serves the up phases for free (immutability), so only
+			// the repeated repair cost accumulates. Repair is deterministic,
+			// so the later down transitions cost exactly what the first one
+			// measured — account for them without redoing the work.
+			row.LinksFailed += st.FailedLinks
+			row.ShardsPct += float64(flaps) * 100 * st.ShardsRebuilt()
+			row.Repairs += flaps
+
+			samples := routeFailurePairs(p, rep, metrics.SamplePairs(rng, n, pairs))
+			for _, sm := range samples {
+				row.Pairs++
+				if !sm.connected {
+					continue
+				}
+				row.Connected++
+				for leg := range sm.ok {
+					if sm.ok[leg] {
+						row.Legs[leg].Delivered++
+						row.Legs[leg].StretchSum += sm.st[leg]
+					}
+				}
+			}
+		}
+		row.ShardsPct /= float64(row.Repairs)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// failureSample is one routed pair: ground-truth connectivity on the
+// failed topology, then per-leg deliverability and stretch.
+type failureSample struct {
+	connected bool
+	ok        [5]bool
+	st        [5]float64
+}
+
+// failScratch is one worker's routing state over a repaired snapshot
+// (Disco embeds the NDDisco fork the ND legs route on).
+type failScratch struct {
+	dest *pathtree.Lazy
+	d    *core.Disco
+	s4f  *s4.S4
+}
+
+// routeFailurePairs routes every sampled pair over the repaired snapshot
+// on the worker pool, returning samples in pair order.
+func routeFailurePairs(p *Protocols, rep *snapshot.Snapshot, ps []metrics.Pair) []failureSample {
+	fg := rep.Graph()
+	return parallel.MapScratch(len(ps),
+		func() *failScratch {
+			dest := pathtree.NewLazy(fg)
+			return &failScratch{
+				dest: dest,
+				d:    p.Disco.ForkRepaired(rep),
+				s4f:  p.S4.ForkRepaired(rep, dest),
+			}
+		},
+		func(sc *failScratch, i int) failureSample {
+			s, t := graph.NodeID(ps[i].Src), graph.NodeID(ps[i].Dst)
+			sc.dest.Bind(t)
+			short := sc.dest.Dist(s)
+			if math.IsInf(short, 1) || short == 0 {
+				return failureSample{} // disconnected (or degenerate) pair
+			}
+			out := failureSample{connected: true}
+			nd := sc.d.ND
+			record := func(leg int, route []graph.NodeID, ok bool) {
+				if !ok {
+					return
+				}
+				out.ok[leg] = true
+				out.st[leg] = metrics.Stretch(fg.PathLength(route), short)
+			}
+			r0, ok0 := sc.d.RepairedFirstRoute(s, t)
+			record(0, r0, ok0)
+			r1, ok1 := nd.RepairedFirstRoute(s, t)
+			record(1, r1, ok1)
+			r2, ok2 := nd.RepairedLaterRoute(s, t)
+			record(2, r2, ok2)
+			r3, ok3 := sc.s4f.RepairedFirstRoute(s, t)
+			record(3, r3, ok3)
+			r4, ok4 := sc.s4f.RepairedLaterRoute(s, t)
+			record(4, r4, ok4)
+			return out
+		})
+}

@@ -77,3 +77,10 @@ func TestGoldenFig6Shortcuts(t *testing.T) {
 func TestGoldenFig9Scaling(t *testing.T) {
 	checkGolden(t, "fig9_scaling_256_512", Fig9Scaling([]int{256, 512}, 8, 80).Format())
 }
+
+// TestGoldenFailures pins the failure-scenario family. The parameters
+// match the CI smoke step (`discosim -exp failures -n 256 -seed 1`), which
+// diffs the harness's stdout against this same golden file.
+func TestGoldenFailures(t *testing.T) {
+	checkGolden(t, "failures_gnm256", FailureScenarios(TopoGnm, 256, 1, 500).Format())
+}

@@ -193,6 +193,121 @@ func (g *Graph) Connected() bool {
 	return c == 1
 }
 
+// EdgeKey names one undirected link by its endpoints. Use Norm to
+// canonicalize before comparing or deduplicating: the (U,V) and (V,U)
+// spellings denote the same link.
+type EdgeKey struct{ U, V NodeID }
+
+// Norm returns the canonical spelling with U <= V.
+func (e EdgeKey) Norm() EdgeKey {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// Bridges reports, indexed by edge ID, whether each undirected edge is a
+// bridge — an edge whose removal disconnects its component. Computed with
+// one iterative lowpoint DFS (O(n+m), no recursion, so router-level graphs
+// don't blow the goroutine stack). Parallel edges are handled: only the
+// exact edge used to enter a node is excluded from its lowpoint, so a
+// doubled link is correctly never a bridge. The dynamics experiments use
+// this to fail "random non-bridge links" without silently partitioning the
+// network.
+func (g *Graph) Bridges() []bool {
+	n := g.N()
+	bridge := make([]bool, g.m)
+	disc := make([]int32, n) // 0 = unvisited; else discovery time + 1
+	low := make([]int32, n)
+	// Explicit DFS stack: one frame per node on the current path, holding
+	// the adjacency cursor and the edge used to enter.
+	type frame struct {
+		v      NodeID
+		inEdge int32 // EID of the tree edge into v, -1 at a root
+		next   int   // next adjacency index to scan
+	}
+	var stack []frame
+	time := int32(0)
+	for root := 0; root < n; root++ {
+		if disc[root] != 0 {
+			continue
+		}
+		time++
+		disc[root], low[root] = time, time
+		stack = append(stack[:0], frame{v: NodeID(root), inEdge: -1})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.v]) {
+				e := g.adj[f.v][f.next]
+				f.next++
+				if e.EID == f.inEdge {
+					continue // don't walk the entry edge back up
+				}
+				if disc[e.To] != 0 {
+					if disc[e.To] < low[f.v] {
+						low[f.v] = disc[e.To] // back edge
+					}
+					continue
+				}
+				time++
+				disc[e.To], low[e.To] = time, time
+				stack = append(stack, frame{v: e.To, inEdge: e.EID})
+				continue
+			}
+			// f.v is fully explored: fold its lowpoint into the parent and
+			// classify the tree edge.
+			v := f.v
+			in := f.inEdge
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				continue
+			}
+			p := &stack[len(stack)-1]
+			if low[v] < low[p.v] {
+				low[p.v] = low[v]
+			}
+			if low[v] > disc[p.v] {
+				bridge[in] = true
+			}
+		}
+	}
+	return bridge
+}
+
+// WithoutEdges returns a copy of g minus the edges whose IDs are marked in
+// dead (indexed by EID, length M()). Node IDs are preserved; edge IDs are
+// renumbered densely in the same deterministic order AddEdge assigned them.
+// The copy is returned Finalized. This is the topology a failure scenario
+// routes on: removed links simply no longer exist.
+func (g *Graph) WithoutEdges(dead []bool) *Graph {
+	if len(dead) != g.m {
+		panic(fmt.Sprintf("graph: WithoutEdges mask has %d entries for %d edges", len(dead), g.m))
+	}
+	g2 := New(g.N())
+	// Iterate undirected edges once each in EID order so the surviving
+	// edges keep their relative numbering.
+	type half struct {
+		u NodeID
+		e Edge
+	}
+	byID := make([]half, g.m)
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if e.To > NodeID(u) {
+				byID[e.EID] = half{u: NodeID(u), e: e}
+			}
+		}
+	}
+	for id, h := range byID {
+		if dead[id] {
+			continue
+		}
+		g2.AddEdge(h.u, h.e.To, h.e.Weight)
+	}
+	g2.Finalize()
+	return g2
+}
+
 // TotalWeight returns the sum of all edge weights.
 func (g *Graph) TotalWeight() float64 {
 	t := 0.0

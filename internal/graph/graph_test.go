@@ -434,3 +434,120 @@ func TestTotalWeightAvgMaxDegree(t *testing.T) {
 		t.Errorf("MaxDegree=%v want 2", md)
 	}
 }
+
+// bridgesByRemoval is the O(m·(n+m)) reference: an edge is a bridge iff
+// removing it raises the component count.
+func bridgesByRemoval(g *Graph) []bool {
+	_, base := g.Components()
+	out := make([]bool, g.M())
+	for id := range out {
+		dead := make([]bool, g.M())
+		dead[id] = true
+		if _, c := g.WithoutEdges(dead).Components(); c > base {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func TestBridgesKnownTopology(t *testing.T) {
+	// Two triangles joined by a bridge, plus a pendant edge (also a bridge).
+	g := New(7)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	b1 := g.AddEdge(2, 3, 1) // bridge
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(5, 3, 1)
+	b2 := g.AddEdge(5, 6, 1) // pendant bridge
+	g.Finalize()
+	got := g.Bridges()
+	for id := int32(0); int(id) < g.M(); id++ {
+		want := id == b1 || id == b2
+		if got[id] != want {
+			t.Errorf("edge %d: bridge=%v want %v", id, got[id], want)
+		}
+	}
+}
+
+func TestBridgesParallelEdgeIsNotABridge(t *testing.T) {
+	// A doubled link between 0 and 1 plus a pendant at 2: only the pendant
+	// is a bridge, even though each parallel half looks like a tree edge.
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 1, 1)
+	pendant := g.AddEdge(1, 2, 1)
+	g.Finalize()
+	got := g.Bridges()
+	for id := int32(0); int(id) < g.M(); id++ {
+		if got[id] != (id == pendant) {
+			t.Errorf("edge %d: bridge=%v want %v", id, got[id], id == pendant)
+		}
+	}
+}
+
+func TestBridgesMatchesRemovalReference(t *testing.T) {
+	// Random sparse graphs (disconnected allowed) against the
+	// removal-based reference definition.
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40
+		g := New(n)
+		seen := map[EdgeKey]bool{}
+		for i := 0; i < 55; i++ {
+			u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			k := (EdgeKey{U: u, V: v}).Norm()
+			if u == v || seen[k] {
+				continue
+			}
+			seen[k] = true
+			g.AddEdge(u, v, 1)
+		}
+		g.Finalize()
+		got := g.Bridges()
+		want := bridgesByRemoval(g)
+		for id := range want {
+			if got[id] != want[id] {
+				t.Fatalf("seed %d edge %d: bridge=%v want %v", seed, id, got[id], want[id])
+			}
+		}
+	}
+}
+
+func TestWithoutEdges(t *testing.T) {
+	g := buildDiamond(t)
+	dead := make([]bool, g.M())
+	dead[g.EdgeID(1, 3)] = true
+	g2 := g.WithoutEdges(dead)
+	if g2.N() != g.N() || g2.M() != g.M()-1 {
+		t.Fatalf("got N=%d M=%d, want %d,%d", g2.N(), g2.M(), g.N(), g.M()-1)
+	}
+	if g2.EdgeWeight(1, 3) >= 0 {
+		t.Fatal("removed edge still present")
+	}
+	// Surviving edges keep endpoints and weights.
+	for _, e := range [][3]float64{{0, 1, 1}, {0, 2, 3}, {2, 3, 1}} {
+		if w := g2.EdgeWeight(NodeID(e[0]), NodeID(e[1])); w != e[2] {
+			t.Errorf("edge (%v,%v) weight %v want %v", e[0], e[1], w, e[2])
+		}
+	}
+	if !g2.Finalized() {
+		t.Fatal("WithoutEdges result not finalized")
+	}
+	// Edge IDs renumber densely: every ID 0..M-1 is present.
+	for id := int32(0); int(id) < g2.M(); id++ {
+		found := false
+		for u := 0; u < g2.N() && !found; u++ {
+			for _, e := range g2.Neighbors(NodeID(u)) {
+				if e.EID == id {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("edge ID %d missing after renumbering", id)
+		}
+	}
+}

@@ -27,7 +27,9 @@ func TestDebugVicinityFailure(t *testing.T) {
 	if !g2.Connected() {
 		t.Skip("bridge")
 	}
-	p.FailLink(u, v)
+	if err := p.FailLink(u, v); err != nil {
+		t.Fatalf("FailLink: %v", err)
+	}
 	p.PruneStale()
 	eng.Run(0)
 	p.RefreshUntilStable(20)

@@ -29,10 +29,15 @@ func edgeKey(u, v graph.NodeID) uint64 {
 // the link are withdrawn transitively as the re-announcements propagate —
 // standard path-vector dynamics, loop-free by the path check. Call between
 // engine runs (or from a scheduled event), then Run the engine again to
-// re-converge.
-func (p *Protocol) FailLink(u, v graph.NodeID) {
-	if p.g.PortOf(u, v) < 0 {
-		panic(fmt.Sprintf("pathvector: no link %d-%d to fail", u, v))
+// re-converge. Failing a nonexistent (or already-failed) link is a caller
+// error, returned rather than panicked, matching the snapshot layer's
+// Build/ApplyFailures convention.
+func (p *Protocol) FailLink(u, v graph.NodeID) error {
+	if u == v || int(u) < 0 || int(v) < 0 || int(u) >= p.g.N() || int(v) >= p.g.N() || p.g.PortOf(u, v) < 0 {
+		return fmt.Errorf("pathvector: no link %d-%d to fail", u, v)
+	}
+	if !p.LinkAlive(u, v) {
+		return fmt.Errorf("pathvector: link %d-%d already failed", u, v)
 	}
 	if p.dead == nil {
 		p.dead = make(map[uint64]bool)
@@ -40,6 +45,7 @@ func (p *Protocol) FailLink(u, v graph.NodeID) {
 	p.dead[edgeKey(u, v)] = true
 	p.dropNeighbor(p.nodes[u], v)
 	p.dropNeighbor(p.nodes[v], u)
+	return nil
 }
 
 // LinkAlive reports whether the link between u and v is usable.

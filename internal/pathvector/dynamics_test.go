@@ -39,7 +39,9 @@ func TestFailLinkFullModeReconverges(t *testing.T) {
 	}
 	// Fail an arbitrary live link and re-converge.
 	var u, v graph.NodeID = 0, g.Neighbors(0)[0].To
-	p.FailLink(u, v)
+	if err := p.FailLink(u, v); err != nil {
+		t.Fatalf("FailLink: %v", err)
+	}
 	p.PruneStale()
 	if _, q := eng.Run(0); !q {
 		t.Fatal("re-convergence failed")
@@ -89,7 +91,9 @@ func TestFailBridgePartitions(t *testing.T) {
 	if p.BestDist(1, 5) >= graph.Inf {
 		t.Fatal("cross-side route missing before failure")
 	}
-	p.FailLink(0, 4)
+	if err := p.FailLink(0, 4); err != nil {
+		t.Fatalf("FailLink: %v", err)
+	}
 	p.PruneStale()
 	if _, q := eng.Run(5_000_000); !q {
 		t.Fatal("did not quiesce after bridge failure (count-to-infinity?)")
@@ -122,7 +126,9 @@ func TestFailLinkVicinityWithRefresh(t *testing.T) {
 	if !g2.Connected() {
 		t.Skip("failed link was a bridge")
 	}
-	p.FailLink(u, v)
+	if err := p.FailLink(u, v); err != nil {
+		t.Fatalf("FailLink: %v", err)
+	}
 	p.PruneStale()
 	eng.Run(0)
 	rounds := p.RefreshUntilStable(10)
@@ -154,7 +160,9 @@ func TestFailLinkMessagesCounted(t *testing.T) {
 	p.Start()
 	eng.Run(0)
 	before := p.Messages
-	p.FailLink(2, g.Neighbors(2)[0].To)
+	if err := p.FailLink(2, g.Neighbors(2)[0].To); err != nil {
+		t.Fatalf("FailLink: %v", err)
+	}
 	p.PruneStale()
 	eng.Run(0)
 	if p.Messages <= before {
@@ -162,21 +170,47 @@ func TestFailLinkMessagesCounted(t *testing.T) {
 	}
 }
 
-func TestLinkAliveAndPanics(t *testing.T) {
+func TestLinkAliveAndFailLinkErrors(t *testing.T) {
 	g := topology.Line(4)
 	var eng sim.Engine
 	p := New(g, &eng, Config{Mode: ModeFull})
 	if !p.LinkAlive(0, 1) {
 		t.Fatal("link should start alive")
 	}
-	p.FailLink(0, 1)
+	if err := p.FailLink(0, 1); err != nil {
+		t.Fatalf("FailLink on a live link: %v", err)
+	}
 	if p.LinkAlive(0, 1) || p.LinkAlive(1, 0) {
 		t.Fatal("failed link should be dead both ways")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic failing a non-edge")
-		}
-	}()
-	p.FailLink(0, 3)
+	if err := p.FailLink(0, 3); err == nil {
+		t.Fatal("expected error failing a non-edge")
+	}
+	if err := p.FailLink(0, 1); err == nil {
+		t.Fatal("expected error failing an already-failed link")
+	}
+	if err := p.FailLink(2, 2); err == nil {
+		t.Fatal("expected error failing a self-loop")
+	}
+}
+
+func TestCloneNonQuiescedErrors(t *testing.T) {
+	g := topology.Line(4)
+	var eng sim.Engine
+	p := New(g, &eng, Config{Mode: ModeFull})
+	p.Start() // pending sends, never run to quiescence
+	var eng2 sim.Engine
+	if _, err := p.Clone(&eng2); err == nil {
+		t.Fatal("expected error cloning a non-quiesced instance")
+	}
+	if _, q := eng.Run(0); !q {
+		t.Fatal("convergence failed")
+	}
+	c, err := p.Clone(&eng2)
+	if err != nil {
+		t.Fatalf("Clone of a quiesced instance: %v", err)
+	}
+	if c.BestDist(0, 3) != p.BestDist(0, 3) {
+		t.Fatal("clone diverges from original")
+	}
 }

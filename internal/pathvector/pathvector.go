@@ -110,14 +110,15 @@ func New(g *graph.Graph, eng *sim.Engine, cfg Config) *Protocol {
 // paths, so shared slices are never written through. Cloning a converged
 // instance replaces re-running initial convergence per churn trial with an
 // O(state) copy; Clone may be called concurrently from multiple workers
-// (it only reads p). It panics if p still has scheduled sends, since those
-// would be lost in the engine swap.
-func (p *Protocol) Clone(eng *sim.Engine) *Protocol {
+// (it only reads p). Cloning an instance that still has scheduled sends
+// is an error — they would be lost in the engine swap — returned rather
+// than panicked, matching the snapshot layer's Build convention.
+func (p *Protocol) Clone(eng *sim.Engine) (*Protocol, error) {
 	c := &Protocol{g: p.g, eng: eng, cfg: p.cfg}
 	c.nodes = make([]*node, len(p.nodes))
 	for i, nd := range p.nodes {
 		if nd.sendScheduled || len(nd.dirty) > 0 {
-			panic("pathvector: Clone of a non-quiesced instance")
+			return nil, fmt.Errorf("pathvector: Clone of a non-quiesced instance (node %d has pending sends)", nd.id)
 		}
 		cn := &node{
 			id:    nd.id,
@@ -147,7 +148,7 @@ func (p *Protocol) Clone(eng *sim.Engine) *Protocol {
 			c.dead[k] = v
 		}
 	}
-	return c
+	return c, nil
 }
 
 // Start seeds every node's route to itself and schedules the initial

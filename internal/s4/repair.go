@@ -1,0 +1,115 @@
+package s4
+
+import (
+	"math"
+
+	"disco/internal/graph"
+	"disco/internal/pathtree"
+	"disco/internal/snapshot"
+)
+
+// Routing over repaired route state (see the sibling core/repair.go for
+// the model): after failures, S4's re-converged tables are the
+// Thorup–Zwick definitions evaluated on the failed topology — landmark
+// trees from the repaired snapshot, clusters C(v) = {w : d(w,v) < d(w,
+// l_w)} under post-failure distances and the re-homed landmark
+// assignment. The per-pair destination Dijkstra that already funds the
+// stretch denominator supplies those distances, so cluster checks stay
+// exact without any global recomputation. ok=false replaces the panics of
+// the connected-world paths when a destination is undeliverable.
+
+// ForkRepaired returns an S4 routing view over the repaired snapshot,
+// with a destination scratch bound to the failed topology. A non-nil dest
+// (shared with the other protocol forks of the same worker) must have
+// been created over rep.Graph().
+func (s *S4) ForkRepaired(rep *snapshot.Snapshot, dest *pathtree.Lazy) *S4 {
+	if dest == nil {
+		dest = pathtree.NewLazy(rep.Graph())
+	}
+	return &S4{Env: s.Env, DB: s.DB, snap: rep, dest: dest}
+}
+
+// repairedLandmarkOf returns t's post-failure landmark — the nearest
+// landmark on the failed topology (ties to the lowest ID, the
+// deterministic re-registration rule) — and t's distance to it. The
+// destination scratch must already be bound to t. Returns graph.None and
+// +Inf when t's component lost every landmark.
+func (s *S4) repairedLandmarkOf() (graph.NodeID, float64) {
+	best, bestD := graph.None, math.Inf(1)
+	for _, lm := range s.Env.Landmarks {
+		if d := s.dest.Dist(lm); d < bestD || (d == bestD && best != graph.None && lm < best) {
+			best, bestD = lm, d
+		}
+	}
+	if math.IsInf(bestD, 1) {
+		return graph.None, bestD
+	}
+	return best, bestD
+}
+
+// RepairedLaterRoute routes a packet whose source already holds t's
+// refreshed label: direct if t is in src's post-failure cluster (or
+// either endpoint is a landmark), else toward l_t with To-Destination
+// peel-off. ok=false when src and t are separated or t lost all
+// landmarks.
+func (s *S4) RepairedLaterRoute(src, t graph.NodeID) ([]graph.NodeID, bool) {
+	if src == t {
+		return []graph.NodeID{src}, true
+	}
+	s.dest.Bind(t)
+	if math.IsInf(s.dest.Dist(src), 1) {
+		return nil, false
+	}
+	lt, lmd := s.repairedLandmarkOf()
+	if s.Env.IsLM[src] || s.Env.IsLM[t] || s.dest.Dist(src) < lmd {
+		return s.dest.PathFrom(src), true
+	}
+	if lt == graph.None || !s.snap.Reaches(lt, src) {
+		return nil, false
+	}
+	return s.repairedWalkToDest(s.snap.PathFrom(lt, src), lmd), true
+}
+
+// RepairedFirstRoute prepends the resolution detour: src ⇝ owner(h(t))
+// (a landmark) ⇝ t. Both legs must survive the failures; a resolution
+// owner stranded in another component means the name cannot be resolved
+// and the packet is undeliverable — the partition cost Fig. 3's
+// unbounded-first-stretch discussion prices in.
+func (s *S4) RepairedFirstRoute(src, t graph.NodeID) ([]graph.NodeID, bool) {
+	if src == t {
+		return []graph.NodeID{src}, true
+	}
+	s.dest.Bind(t)
+	if math.IsInf(s.dest.Dist(src), 1) {
+		return nil, false
+	}
+	_, lmd := s.repairedLandmarkOf()
+	if s.Env.IsLM[src] || s.Env.IsLM[t] || s.dest.Dist(src) < lmd {
+		return s.dest.PathFrom(src), true
+	}
+	owner := s.DB.OwnerOf(s.Env.HashOf(t))
+	if !s.snap.Reaches(owner, src) || math.IsInf(s.dest.Dist(owner), 1) {
+		return nil, false
+	}
+	toOwner := s.snap.PathFrom(owner, src)
+	rest := s.dest.PathFrom(owner) // owner is a landmark: direct to t
+	return joinTrim(toOwner, rest), true
+}
+
+// repairedWalkToDest walks the packet along route (src ⇝ l_t), diverting
+// to the exact path at the first node whose post-failure cluster contains
+// t; the landmark itself always diverts, so the walk never runs off the
+// end. The destination scratch must be bound to t.
+func (s *S4) repairedWalkToDest(route []graph.NodeID, lmd float64) []graph.NodeID {
+	t := s.dest.Root()
+	for i, u := range route {
+		if u == t {
+			return route[:i+1]
+		}
+		if s.Env.IsLM[u] || s.dest.Dist(u) < lmd {
+			direct := s.dest.PathFrom(u)
+			return append(route[:i:i], direct...)
+		}
+	}
+	return route
+}

@@ -66,6 +66,7 @@ func (s *Snapshot) buildCompactVicinities() error {
 	s.pWidth = bits.Width(k + 1)
 	s.vicOff = make([]int64, n+1)
 	settled := make([]int32, n)
+	radii := make([]float64, n)
 	var blob []byte
 	bufs := make([][]byte, min(vicinityShard, n))
 	for base := 0; base < n; base += vicinityShard {
@@ -87,6 +88,7 @@ func (s *Snapshot) buildCompactVicinities() error {
 					return
 				}
 				fillWindow(sc.win, sc.sp, order)
+				radii[base+i] = windowBound(sc.win)
 				sc.w.Reset()
 				encodeWindow(&sc.w, s.idWidth, s.pWidth, sc.win)
 				bufs[i] = append([]byte(nil), sc.w.Bytes()...)
@@ -99,7 +101,29 @@ func (s *Snapshot) buildCompactVicinities() error {
 	}
 	s.vicOff[n] = int64(len(blob))
 	s.vicBlob = blob
+	for _, r := range radii {
+		if r > s.maxRadius {
+			s.maxRadius = r
+		}
+	}
 	return firstShortfall(settled, k)
+}
+
+// windowBound returns an upper bound on the window's radius that covers
+// both the raw float64 distances and their float32-quantized decode (the
+// two can land on either side of each other), so maxRadius stays a valid
+// candidate-search bound in the compact regime.
+func windowBound(win []vicinity.Entry) float64 {
+	b := 0.0
+	for _, e := range win {
+		if e.Dist > b {
+			b = e.Dist
+		}
+		if q := float64(float32(e.Dist)); q > b {
+			b = q
+		}
+	}
+	return b
 }
 
 // encodeWindow appends one window in the wire format above. The window must
@@ -216,13 +240,18 @@ func (s *Snapshot) buildCompactForest() error {
 }
 
 // compactParent decodes one parent field of forest row `row`: the port of
-// v's tree predecessor within v's adjacency list, or deg(v) for None.
+// v's tree predecessor within v's adjacency list, or deg(v) for None. The
+// ports index the adjacency of the graph the row was encoded over
+// (portGraph), which on a repaired snapshot is the parent's graph — the
+// resolved edge is nonetheless alive, because a shared row's tree crosses
+// no failed link.
 func (s *Snapshot) compactParent(row int, v graph.NodeID) graph.NodeID {
+	pg := s.portGraph()
 	width := int(s.degOff[v+1] - s.degOff[v])
 	prow := s.forest[row*s.rowBytes : (row+1)*s.rowBytes]
 	port := bits.At(prow, int(s.degOff[v]), width)
-	if port == uint64(s.g.Degree(v)) {
+	if port == uint64(pg.Degree(v)) {
 		return graph.None
 	}
-	return s.g.NeighborAt(v, int(port)).To
+	return pg.NeighborAt(v, int(port)).To
 }

@@ -1,0 +1,309 @@
+// Incremental snapshot repair: ApplyFailures turns an immutable snapshot
+// plus a set of failed links into a new snapshot of the failed topology by
+// recomputing only the affected region, sharing everything else with the
+// parent copy-on-write. Repair cost then tracks the failure's blast radius
+// instead of n — the property that makes failure-scenario experiments
+// affordable at the paper-scale sizes the compact encoding unlocked.
+//
+// What "affected" means is exact, not heuristic, and rests on two facts
+// about the deterministic Dijkstra in internal/graph (strict-improvement
+// parent updates, ties broken by node ID):
+//
+//   - A vicinity window V(x) changes only if some failed link has BOTH
+//     endpoints inside the window. With one endpoint settled, the link was
+//     only ever relaxed toward an unsettled node, which cannot alter the
+//     first k settles or their parents; with both endpoints outside, the
+//     link was never relaxed at all.
+//   - A landmark forest row changes only if some failed link is a TREE
+//     edge of that row (parent[u] = v or parent[v] = u). A non-tree link
+//     never supplied a final parent, and its absence perturbs neither
+//     distances nor the settle order.
+//
+// Candidate windows for the first criterion are found without scanning all
+// n windows: u ∈ V(x) implies d(x,u) <= radius(V(x)) <= maxRadius, so a
+// Dijkstra ball of radius maxRadius around each failed endpoint encloses
+// every window that could contain it; exact membership is then probed per
+// candidate.
+//
+// Unlike Build/BuildCompact, ApplyFailures does NOT require the failed
+// topology to stay connected — that is the point of failure scenarios.
+// Repaired vicinity windows may hold fewer than k entries and repaired
+// forest rows mark cut-off nodes with graph.None (see Reaches); on a
+// still-connected topology the repaired snapshot is byte-identical (in
+// CanonicalBytes form) to a from-scratch rebuild.
+package snapshot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"disco/internal/graph"
+	"disco/internal/parallel"
+	"disco/internal/vicinity"
+)
+
+// RepairStats reports what one ApplyFailures call recomputed versus
+// shared. "Shards" are the snapshot's repair units: per-node vicinity
+// windows and per-landmark forest rows.
+type RepairStats struct {
+	FailedLinks int // deduplicated links applied by this repair
+	VicRebuilt  int // vicinity windows recomputed
+	VicTotal    int // = n
+	RowsRebuilt int // landmark forest rows recomputed
+	RowsTotal   int // = number of landmarks
+	Candidates  int // nodes scanned by the blast-radius candidate search
+}
+
+// ShardsRebuilt returns the fraction of shards this repair recomputed —
+// the blast-radius cost measure the repair-equivalence test bounds.
+func (st *RepairStats) ShardsRebuilt() float64 {
+	total := st.VicTotal + st.RowsTotal
+	if total == 0 {
+		return 0
+	}
+	return float64(st.VicRebuilt+st.RowsRebuilt) / float64(total)
+}
+
+// repairState is the copy-on-write overlay of a repaired snapshot: the
+// recomputed shards, keyed so reads check here first and fall through to
+// the parent's shared storage. Read-only after ApplyFailures returns, like
+// everything else reachable from a Snapshot.
+type repairState struct {
+	parent *Snapshot
+	portG  *graph.Graph // graph whose adjacency the shared compact rows index
+	vic    map[graph.NodeID]*vicinity.Set
+	rows   map[int][]graph.NodeID
+	stats  RepairStats
+}
+
+// Repaired reports whether this snapshot was produced by ApplyFailures.
+func (s *Snapshot) Repaired() bool { return s.rep != nil }
+
+// RepairStats returns the statistics of the repair that produced this
+// snapshot, or nil for snapshots built from scratch.
+func (s *Snapshot) RepairStats() *RepairStats {
+	if s.rep == nil {
+		return nil
+	}
+	return &s.rep.stats
+}
+
+// ApplyFailures returns a snapshot of this snapshot's topology minus the
+// given links, recomputing only the vicinity windows and forest rows the
+// failures can affect and sharing every untouched shard with s (which
+// stays valid and immutable — restoring a flapped link is free: route on
+// the parent again). Links are deduplicated; a link that does not exist is
+// an error. The result may describe a disconnected topology: windows
+// shrink below k and forest rows lose nodes (Reaches reports which), so
+// delivery ratio — not an error — is how experiments observe partitions.
+// Chains compose: a repaired snapshot can be repaired again.
+func (s *Snapshot) ApplyFailures(fails []graph.EdgeKey) (*Snapshot, error) {
+	n := s.g.N()
+	dead := make([]bool, s.g.M())
+	uniq := make([]graph.EdgeKey, 0, len(fails))
+	for _, f := range fails {
+		f = f.Norm()
+		if f.U == f.V || f.U < 0 || int(f.V) >= n {
+			return nil, fmt.Errorf("snapshot: invalid link %d-%d", f.U, f.V)
+		}
+		id := s.g.EdgeID(f.U, f.V)
+		if id < 0 {
+			return nil, fmt.Errorf("snapshot: no link %d-%d to fail", f.U, f.V)
+		}
+		if dead[id] {
+			continue
+		}
+		dead[id] = true
+		uniq = append(uniq, f)
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("snapshot: ApplyFailures needs at least one link")
+	}
+	fg := s.g.WithoutEdges(dead)
+
+	affVic, scanned := s.affectedVicinities(uniq)
+	type repairedWindow struct {
+		set   *vicinity.Set
+		bound float64 // unquantized radius bound for future repairs
+	}
+	wins := parallel.MapScratch(len(affVic),
+		func() *graph.SSSP { return graph.NewSSSP(fg) },
+		func(sp *graph.SSSP, i int) repairedWindow {
+			src := affVic[i]
+			sp.RunK(src, s.k)
+			order := sp.Order()
+			win := make([]vicinity.Entry, len(order))
+			fillWindow(win, sp, order)
+			bound := windowBound(win)
+			if s.compact {
+				// Mirror the compact decode: a fresh BuildCompact would
+				// round distances through float32.
+				for j := range win {
+					win[j].Dist = float64(float32(win[j].Dist))
+				}
+			}
+			set := vicinity.MakeSet(src, win)
+			return repairedWindow{set: &set, bound: bound}
+		})
+
+	var affRows []int
+	for row := range s.landmarks {
+		for _, f := range uniq {
+			if s.parentAt(row, f.U) == f.V || s.parentAt(row, f.V) == f.U {
+				affRows = append(affRows, row)
+				break
+			}
+		}
+	}
+	affLms := make([]graph.NodeID, len(affRows))
+	for i, row := range affRows {
+		affLms[i] = s.landmarks[row]
+	}
+	newRows := make([][]graph.NodeID, len(affRows))
+	graph.ForEachSource(fg, affLms, func(sp *graph.SSSP, i int, lm graph.NodeID) {
+		sp.Run(lm)
+		prow := make([]graph.NodeID, n)
+		for v := 0; v < n; v++ {
+			prow[v] = sp.Parent(graph.NodeID(v))
+		}
+		newRows[i] = prow
+	})
+
+	c := &Snapshot{}
+	*c = *s // share all built storage by slice header / pointer
+	c.g = fg
+	rep := &repairState{
+		parent: s,
+		portG:  s.portGraph(),
+		vic:    make(map[graph.NodeID]*vicinity.Set, len(affVic)),
+		rows:   make(map[int][]graph.NodeID, len(affRows)),
+		stats: RepairStats{
+			FailedLinks: len(uniq),
+			VicRebuilt:  len(affVic),
+			VicTotal:    n,
+			RowsRebuilt: len(affRows),
+			RowsTotal:   len(s.landmarks),
+			Candidates:  scanned,
+		},
+	}
+	// A chained repair extends the parent overlay: older patches stay
+	// valid unless recomputed again below.
+	if s.rep != nil {
+		for v, set := range s.rep.vic {
+			rep.vic[v] = set
+		}
+		for row, prow := range s.rep.rows {
+			rep.rows[row] = prow
+		}
+	}
+	for i, v := range affVic {
+		rep.vic[v] = wins[i].set
+		if wins[i].bound > c.maxRadius {
+			c.maxRadius = wins[i].bound
+		}
+	}
+	for i, row := range affRows {
+		rep.rows[row] = newRows[i]
+	}
+	c.rep = rep
+	return c, nil
+}
+
+// affectedVicinities returns, sorted, every node whose vicinity window can
+// change when the given (deduplicated, existing) links fail, plus how many
+// candidate nodes the ball search scanned. A window qualifies iff some
+// failed link has both endpoints inside it; candidates are enumerated by a
+// bounded Dijkstra ball around each distinct lower endpoint (a superset,
+// since u ∈ V(x) forces d(x,u) <= maxRadius), then probed exactly.
+func (s *Snapshot) affectedVicinities(uniq []graph.EdgeKey) ([]graph.NodeID, int) {
+	byU := make(map[graph.NodeID][]graph.NodeID)
+	var us []graph.NodeID
+	for _, f := range uniq {
+		if byU[f.U] == nil {
+			us = append(us, f.U)
+		}
+		byU[f.U] = append(byU[f.U], f.V)
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	// RunRadius settles strictly below its bound, so nudge past maxRadius
+	// to include windows whose farthest member sits exactly on it.
+	bound := math.Nextafter(s.maxRadius, math.Inf(1))
+	type ballResult struct {
+		aff     []graph.NodeID
+		scanned int
+	}
+	balls := parallel.MapScratch(len(us),
+		func() *graph.SSSP { return graph.NewSSSP(s.g) },
+		func(sp *graph.SSSP, i int) ballResult {
+			u := us[i]
+			sp.RunRadius(u, bound)
+			res := ballResult{scanned: len(sp.Order())}
+			for _, x := range sp.Order() {
+				if !s.VicinityContains(x, u) {
+					continue
+				}
+				for _, v := range byU[u] {
+					if s.VicinityContains(x, v) {
+						res.aff = append(res.aff, x)
+						break
+					}
+				}
+			}
+			return res
+		})
+	seen := make(map[graph.NodeID]bool)
+	var aff []graph.NodeID
+	scanned := 0
+	for _, b := range balls {
+		scanned += b.scanned
+		for _, x := range b.aff {
+			if !seen[x] {
+				seen[x] = true
+				aff = append(aff, x)
+			}
+		}
+	}
+	sort.Slice(aff, func(i, j int) bool { return aff[i] < aff[j] })
+	return aff, scanned
+}
+
+// CanonicalBytes serializes the snapshot's logical route state — every
+// vicinity window entry and every forest parent, as node IDs and float64
+// distance bits — in a storage-independent canonical form. Two snapshots
+// agree here iff they hold identical route state, regardless of how it is
+// laid out (exact flat arrays, compact bit-packing, or a repair overlay);
+// this is the byte-identity the repair-equivalence test asserts between
+// ApplyFailures and a from-scratch rebuild of the failed topology.
+func (s *Snapshot) CanonicalBytes() []byte {
+	n := s.g.N()
+	var buf []byte
+	put32 := func(x uint32) {
+		buf = append(buf, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	put64 := func(x uint64) {
+		put32(uint32(x))
+		put32(uint32(x >> 32))
+	}
+	put32(uint32(n))
+	put32(uint32(s.k))
+	put32(uint32(len(s.landmarks)))
+	for _, lm := range s.landmarks {
+		put32(uint32(lm))
+	}
+	for v := 0; v < n; v++ {
+		set := s.Vicinity(graph.NodeID(v))
+		put32(uint32(len(set.Entries)))
+		for _, e := range set.Entries {
+			put32(uint32(e.Node))
+			put32(uint32(e.Parent))
+			put64(math.Float64bits(e.Dist))
+		}
+	}
+	for row := range s.landmarks {
+		for v := 0; v < n; v++ {
+			put32(uint32(s.parentAt(row, graph.NodeID(v))))
+		}
+	}
+	return buf
+}

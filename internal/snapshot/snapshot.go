@@ -71,6 +71,17 @@ type Snapshot struct {
 	// row, or -1 when the node is not a landmark.
 	landmarks []graph.NodeID
 	lmRow     []int32
+
+	// maxRadius upper-bounds every vicinity window's true (unquantized)
+	// radius. ApplyFailures uses it to bound the blast-radius candidate
+	// search: u ∈ V(x) implies d(x,u) <= maxRadius.
+	maxRadius float64
+
+	// rep is the repair overlay: nil on snapshots built from scratch,
+	// non-nil on snapshots returned by ApplyFailures (see repair.go). All
+	// other storage fields of a repaired snapshot are shared with the
+	// parent; reads check the overlay first.
+	rep *repairState
 }
 
 // Build computes the exact-regime snapshot for graph g with vicinity size k
@@ -156,6 +167,11 @@ func (s *Snapshot) buildExactVicinities() error {
 		fillWindow(win, sp, order)
 		s.sets[i] = vicinity.MakeSet(src, win)
 	})
+	for i := range s.sets {
+		if r := s.sets[i].Radius(); r > s.maxRadius {
+			s.maxRadius = r
+		}
+	}
 	return firstShortfall(settled, k)
 }
 
@@ -218,6 +234,11 @@ func (s *Snapshot) Landmarks() []graph.NodeID { return s.landmarks }
 // Callers that only need membership should prefer VicinityContains, which
 // never materializes the window.
 func (s *Snapshot) Vicinity(v graph.NodeID) *vicinity.Set {
+	if s.rep != nil {
+		if set, ok := s.rep.vic[v]; ok {
+			return set
+		}
+	}
 	if s.compact {
 		set := vicinity.MakeSet(v, s.decodeWindow(v))
 		return &set
@@ -229,6 +250,11 @@ func (s *Snapshot) Vicinity(v graph.NodeID) *vicinity.Set {
 // either regime — the cheap probe the per-hop forwarding checks use, where
 // the common answer is "no".
 func (s *Snapshot) VicinityContains(v, w graph.NodeID) bool {
+	if s.rep != nil {
+		if set, ok := s.rep.vic[v]; ok {
+			return set.Contains(w)
+		}
+	}
 	if s.compact {
 		return s.compactContains(v, w)
 	}
@@ -248,11 +274,16 @@ func (s *Snapshot) row(root graph.NodeID) int {
 	return int(row)
 }
 
-// Parent returns v's predecessor on root's shortest-path tree
-// (graph.None for the root itself) — the data plane's first hop from v
-// toward root; root must be a landmark.
-func (s *Snapshot) Parent(root, v graph.NodeID) graph.NodeID {
-	row := s.row(root)
+// parentAt reads one field of forest row `row`, dispatching between the
+// repair overlay (recomputed rows own plain parent arrays) and the shared
+// built storage. graph.None means v is the root — or, on a repaired row,
+// that the failures cut v off from the root entirely (check Reaches).
+func (s *Snapshot) parentAt(row int, v graph.NodeID) graph.NodeID {
+	if s.rep != nil {
+		if prow, ok := s.rep.rows[row]; ok {
+			return prow[v]
+		}
+	}
 	if s.compact {
 		return s.compactParent(row, v)
 	}
@@ -260,20 +291,44 @@ func (s *Snapshot) Parent(root, v graph.NodeID) graph.NodeID {
 	return s.parents[row*n : (row+1)*n][v]
 }
 
+// portGraph returns the graph whose sorted adjacency lists the compact
+// forest rows index. On a built snapshot that is the snapshot's own graph;
+// on a repaired snapshot the shared (unpatched) rows still encode ports of
+// the graph they were built over, so decoding keeps using it — safe,
+// because an unpatched row's tree crosses no failed link.
+func (s *Snapshot) portGraph() *graph.Graph {
+	if s.rep != nil {
+		return s.rep.portG
+	}
+	return s.g
+}
+
+// Parent returns v's predecessor on root's shortest-path tree
+// (graph.None for the root itself) — the data plane's first hop from v
+// toward root; root must be a landmark. On a repaired snapshot, None is
+// also returned when the failures disconnected v from root (Reaches
+// distinguishes the two).
+func (s *Snapshot) Parent(root, v graph.NodeID) graph.NodeID {
+	return s.parentAt(s.row(root), v)
+}
+
+// Reaches reports whether root's shortest-path tree still reaches v. On a
+// snapshot built from scratch this is always true (builds require a
+// connected graph); on a repaired snapshot it is the deliverability check
+// forwarding performs before committing to a landmark leg.
+func (s *Snapshot) Reaches(root, v graph.NodeID) bool {
+	row := s.row(root)
+	return v == root || s.parentAt(row, v) != graph.None
+}
+
 // PathFrom returns v ⇝ root on root's shortest-path tree (both endpoints
-// included); root must be a landmark.
+// included); root must be a landmark. On a repaired snapshot callers must
+// check Reaches(root, v) first: an unreachable v yields a meaningless
+// single-node path.
 func (s *Snapshot) PathFrom(root, v graph.NodeID) []graph.NodeID {
 	row := s.row(root)
 	var out []graph.NodeID
-	if s.compact {
-		for u := v; u != graph.None; u = s.compactParent(row, u) {
-			out = append(out, u)
-		}
-		return out
-	}
-	n := s.g.N()
-	parent := s.parents[row*n : (row+1)*n]
-	for u := v; u != graph.None; u = parent[u] {
+	for u := v; u != graph.None; u = s.parentAt(row, u) {
 		out = append(out, u)
 	}
 	return out
