@@ -21,7 +21,8 @@
 // order (see internal/parallel).
 //
 // Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 addrsize
-// accuracy nerror fingers imbalance landmarks tradeoff churn failures.
+// accuracy nerror fingers imbalance landmarks tradeoff churn failures
+// churn-timeline.
 // (TestDocListsEveryExperiment keeps this list in sync with the
 // experiments table below; -list prints the authoritative table.)
 package main
@@ -151,6 +152,19 @@ var experiments = []experiment{
 			kind = eval.TopoRouterLike // paper-scale: the router-level map
 		}
 		fmt.Print(eval.FailureScenarios(kind, n, o.seed, o.pairs).Format())
+	}},
+	{"churn-timeline", "continuous churn: snapshot timeline with recovery + modeled message cost", func(o opts) {
+		kind := eval.TopoGnm
+		n := pick(o.n, 1024, 192244, o.full)
+		if o.full && o.n == 0 {
+			kind = eval.TopoRouterLike // paper-scale: the router-level map
+		}
+		r, err := eval.ChurnTimeline(kind, n, o.seed, o.pairs, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churn-timeline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Format())
 	}},
 }
 

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 
+	"disco/internal/dynamics"
 	"disco/internal/graph"
 	"disco/internal/pathtree"
 	"disco/internal/snapshot"
@@ -221,12 +222,7 @@ func (r *NDDisco) LaterRoute(s, t graph.NodeID, sc Shortcut) []graph.NodeID {
 	if r.VicinityContains(t, s) {
 		// t knows the shortest path t ⇝ s even though s didn't; reversed it
 		// is the exact route s ⇝ t.
-		p := r.Vicinity(t).PathTo(s)
-		rev := make([]graph.NodeID, len(p))
-		for i := range p {
-			rev[len(p)-1-i] = p[i]
-		}
-		return rev
+		return dynamics.ReversePath(r.Vicinity(t).PathTo(s))
 	}
 	return r.FirstRoute(s, t, sc)
 }

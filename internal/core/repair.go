@@ -1,21 +1,32 @@
 package core
 
 import (
+	"disco/internal/dynamics"
 	"disco/internal/graph"
 	"disco/internal/snapshot"
 )
 
-// Routing over repaired route state: after link or node failures, the
-// control plane's triggered updates rebuild exactly the vicinity windows
-// and landmark trees snapshot.ApplyFailures recomputes, so the repaired
-// snapshot IS the post-re-convergence data plane. This file forwards on
-// it without ever consulting pre-failure state that a real node would
-// have invalidated — the stale explicit-route addresses in static.Env,
-// the old landmark assignment of a node whose landmark became
-// unreachable — and returns ok=false instead of panicking when a
-// destination is genuinely undeliverable (partitioned away, or in a
-// component that lost all its landmarks). Delivery ratio, not a crash,
+// Routing over repaired route state: after link failures or recoveries,
+// the control plane's triggered updates rebuild exactly the vicinity
+// windows and landmark trees snapshot.ApplyFailures/ApplyRecoveries
+// recompute, so the repaired snapshot IS the post-re-convergence data
+// plane. This file forwards on it without ever consulting pre-event state
+// that a real node would have invalidated — the stale explicit-route
+// addresses in static.Env, the old landmark assignment of a node whose
+// landmark became unreachable — and returns ok=false instead of panicking
+// when a destination is genuinely undeliverable (partitioned away, or in
+// a component that lost all its landmarks). Delivery ratio, not a crash,
 // is the observable.
+//
+// The NDDisco and Disco views both satisfy dynamics.Router — the
+// protocol-agnostic interface the timeline engine and the failure/churn
+// experiments route through — and the To-Destination peel-off is the
+// shared dynamics.WalkToDest walk, not a per-protocol copy.
+
+var (
+	_ dynamics.Router = (*NDDisco)(nil)
+	_ dynamics.Router = (*Disco)(nil)
+)
 
 // ForkRepaired returns a routing view of r over the repaired snapshot:
 // the environment's immutable parts (names, landmark identities) are
@@ -65,12 +76,7 @@ func (r *NDDisco) RepairedLaterRoute(s, t graph.NodeID) ([]graph.NodeID, bool) {
 		return direct, ok
 	}
 	if vt := r.snap.Vicinity(t); vt.Contains(s) {
-		p := vt.PathTo(s)
-		rev := make([]graph.NodeID, len(p))
-		for i := range p {
-			rev[len(p)-1-i] = p[i]
-		}
-		return rev, true
+		return dynamics.ReversePath(vt.PathTo(s)), true
 	}
 	return r.repairedLandmarkRoute(s, t)
 }
@@ -107,21 +113,14 @@ func (r *NDDisco) repairedLandmarkRoute(s, t graph.NodeID) ([]graph.NodeID, bool
 	return r.repairedWalkToDest(route, t), true
 }
 
-// repairedWalkToDest applies To-Destination shortcutting along route: the
-// packet peels off to the direct path at the first node whose repaired
-// vicinity contains t (every node on a shortest sub-path to t then also
-// knows it, so one splice is final).
+// repairedWalkToDest applies To-Destination shortcutting along route via
+// the shared dynamics walk: the packet peels off to the direct path at the
+// first node whose repaired vicinity contains t (every node on a shortest
+// sub-path to t then also knows it, so one splice is final).
 func (r *NDDisco) repairedWalkToDest(route []graph.NodeID, t graph.NodeID) []graph.NodeID {
-	for i, u := range route {
-		if u == t {
-			return route[:i+1]
-		}
-		if r.snap.VicinityContains(u, t) {
-			direct := r.snap.Vicinity(u).PathTo(t)
-			return append(route[:i:i], direct...)
-		}
-	}
-	return route
+	return dynamics.WalkToDest(route, t,
+		func(u graph.NodeID) bool { return r.snap.VicinityContains(u, t) },
+		func(u graph.NodeID) []graph.NodeID { return r.snap.Vicinity(u).PathTo(t) })
 }
 
 // ForkRepaired returns a Disco routing view over the repaired snapshot
@@ -173,4 +172,12 @@ func (d *Disco) RepairedFirstRoute(s, t graph.NodeID) ([]graph.NodeID, bool) {
 		return nil, false
 	}
 	return nd.repairedWalkToDest(joinPaths(nd.snap.PathFrom(owner, s), rest), t), true
+}
+
+// RepairedLaterRoute routes Disco packets after the handshake. Later
+// packets carry the refreshed address from the first exchange, so the
+// name-resolution machinery drops out and the route is exactly NDDisco's —
+// which is what completes dynamics.Router for the Disco view.
+func (d *Disco) RepairedLaterRoute(s, t graph.NodeID) ([]graph.NodeID, bool) {
+	return d.ND.RepairedLaterRoute(s, t)
 }

@@ -1,0 +1,44 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"disco/internal/snapshot"
+)
+
+// MessageModel prices the control messages of one timeline event from its
+// blast radius. The premise is the one the repair layer is built on: the
+// distributed protocol's triggered updates re-derive exactly the route
+// state the snapshot repair recomputes, and it pays messages for the
+// routes that actually changed —
+//
+//	messages ≈ PerVicEntry·(changed vicinity entries) + PerRowNode·(changed forest parents)
+//
+// where "changed" is the symmetric difference RepairStats records between
+// the pre- and post-event state (withdrawals plus announcements). The
+// coefficients are calibrated against the event-driven sim/pathvector
+// churn runs at n ≤ 1024 (see eval.CalibrateMessageModel), where the full
+// triggered re-convergence is measured directly; that calibration is what
+// lets the churn-timeline experiment price re-convergence at router-level
+// 192,244 nodes, where the event-driven protocol cannot run.
+type MessageModel struct {
+	PerVicEntry float64 // messages per changed vicinity-window entry
+	PerRowNode  float64 // messages per changed forest-row parent field
+	CalN        int     // event-driven calibration size
+}
+
+// Messages returns the modeled total control messages of one event with
+// blast radius st.
+func (m MessageModel) Messages(st *snapshot.RepairStats) float64 {
+	if st == nil {
+		return 0
+	}
+	return m.PerVicEntry*float64(st.VicEntriesChanged) +
+		m.PerRowNode*float64(st.RowNodesChanged)
+}
+
+// String renders the calibrated coefficients for experiment headers.
+func (m MessageModel) String() string {
+	return fmt.Sprintf("%.3f msg/vic-entry, %.3f msg/row-parent, calibrated event-driven at n=%d",
+		m.PerVicEntry, m.PerRowNode, m.CalN)
+}

@@ -1,0 +1,76 @@
+// Package dynamics is the continuous-dynamics engine: a deterministic
+// timeline that drives a copy-on-write chain of route-state snapshots
+// through interleaved fail/recover events (Timeline), the protocol-
+// agnostic interface every repaired routing view presents to it (Router),
+// and blast-radius-derived control-message accounting (MessageModel) that
+// prices re-convergence at sizes the event-driven simulator cannot reach.
+//
+// The package deliberately knows nothing about individual protocols:
+// core.NDDisco, core.Disco and s4.S4 satisfy Router structurally with
+// their ForkRepaired views, and the experiment harness (internal/eval)
+// assembles the legs. That is what lets the timeline engine, the failures
+// experiment and the churn experiments share one routing path instead of
+// special-casing three protocols each.
+package dynamics
+
+import "disco/internal/graph"
+
+// Router is the protocol-agnostic repaired-routing interface: a routing
+// view over a (possibly repaired) snapshot that forwards on post-event
+// state only and reports undeliverable destinations as ok=false instead of
+// panicking. core.NDDisco, core.Disco and s4.S4 ForkRepaired views all
+// implement it.
+type Router interface {
+	// RepairedFirstRoute routes a flow's first packet s ⇝ t (resolution
+	// detours included) on the repaired data plane.
+	RepairedFirstRoute(s, t graph.NodeID) ([]graph.NodeID, bool)
+	// RepairedLaterRoute routes packets after the handshake.
+	RepairedLaterRoute(s, t graph.NodeID) ([]graph.NodeID, bool)
+}
+
+// Leg is one (router, packet phase) column of a dynamics table — the unit
+// the failures and churn-timeline experiments iterate over instead of
+// hard-coding protocols.
+type Leg struct {
+	Name  string
+	R     Router
+	Later bool
+}
+
+// Route routes one pair over the leg.
+func (l Leg) Route(s, t graph.NodeID) ([]graph.NodeID, bool) {
+	if l.Later {
+		return l.R.RepairedLaterRoute(s, t)
+	}
+	return l.R.RepairedFirstRoute(s, t)
+}
+
+// WalkToDest walks a packet along route toward t, diverting to the direct
+// path at the first node that knows one: the To-Destination peel-off every
+// protocol's repaired forwarding shares (vicinity membership for
+// Disco/NDDisco, cluster membership for S4). The splice is final — on a
+// shortest sub-path toward t every later node knows t too — so the walk
+// returns immediately at the first hit, or the unmodified route when no
+// node (before t itself) knows a direct path.
+func WalkToDest(route []graph.NodeID, t graph.NodeID, knows func(u graph.NodeID) bool, direct func(u graph.NodeID) []graph.NodeID) []graph.NodeID {
+	for i, u := range route {
+		if u == t {
+			return route[:i+1]
+		}
+		if knows(u) {
+			return append(route[:i:i], direct(u)...)
+		}
+	}
+	return route
+}
+
+// ReversePath returns p reversed into a fresh slice — the route s ⇝ t
+// recovered from the destination's stored path t ⇝ s (the handshake of
+// later packets; valid because links are undirected).
+func ReversePath(p []graph.NodeID) []graph.NodeID {
+	rev := make([]graph.NodeID, len(p))
+	for i := range p {
+		rev[len(p)-1-i] = p[i]
+	}
+	return rev
+}

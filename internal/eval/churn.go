@@ -31,6 +31,12 @@ type ChurnResult struct {
 	// all non-bridges, so no trial ever partitions the network. The bridge
 	// regression test pins this.
 	Failed []graph.EdgeKey
+
+	// TriggeredEach is the per-trial triggered cost (messages/node), in
+	// trial order — the samples the churn-timeline message model regresses
+	// against the same failures' snapshot blast radii. Triggered above is
+	// their mean.
+	TriggeredEach []float64
 }
 
 // Format renders the comparison. The ratio lines need a nonzero initial
@@ -167,6 +173,7 @@ func ChurnCostOn(g *graph.Graph, seed int64, trials int) (*ChurnResult, error) {
 		if tr.err != nil {
 			return nil, tr.err
 		}
+		res.TriggeredEach = append(res.TriggeredEach, tr.triggered)
 		totalTriggered += tr.triggered
 		totalRefresh += tr.refresh
 	}

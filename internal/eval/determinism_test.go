@@ -57,6 +57,13 @@ func TestWorkerCountInvariance(t *testing.T) {
 			return r.Format()
 		}},
 		{"FailureScenarios", true, func() string { return FailureScenarios(TopoGnm, 192, 21, 40).Format() }},
+		{"ChurnTimeline", true, func() string {
+			r, err := ChurnTimeline(TopoGnm, 128, 23, 40, 0)
+			if err != nil {
+				return "churn-timeline error: " + err.Error()
+			}
+			return r.Format()
+		}},
 	}
 	pooledWorkers := *invarianceWorkers
 	if pooledWorkers < 1 {

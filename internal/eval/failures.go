@@ -6,12 +6,11 @@ import (
 	"math/rand"
 	"strings"
 
-	"disco/internal/core"
+	"disco/internal/dynamics"
 	"disco/internal/graph"
 	"disco/internal/metrics"
 	"disco/internal/parallel"
 	"disco/internal/pathtree"
-	"disco/internal/s4"
 	"disco/internal/snapshot"
 )
 
@@ -49,7 +48,7 @@ type FailureRow struct {
 
 	Pairs     int // sampled pairs, summed over trials
 	Connected int // pairs whose endpoints remain connected
-	Legs      [5]legAgg
+	Legs      [numLegs]legAgg
 }
 
 // FailureResult is the full table.
@@ -70,8 +69,8 @@ func (r *FailureResult) Format() string {
 		r.Kind, r.N, r.PairsN)
 	fmt.Fprintf(&b, "  %-12s %-9s %6s %8s %7s |%8s %7s %7s %7s %7s |%8s %8s %8s %8s %8s\n",
 		"scenario", "param", "links", "shards%", "conn%",
-		"dlv:D-f", "ND-f", "ND-l", "S4-f", "S4-l",
-		"st:D-f", "ND-f", "ND-l", "S4-f", "S4-l")
+		"dlv:"+legNames[0], legNames[1], legNames[2], legNames[3], legNames[4],
+		"st:"+legNames[0], legNames[1], legNames[2], legNames[3], legNames[4])
 	for _, row := range r.Rows {
 		conn := 0.0
 		if row.Pairs > 0 {
@@ -219,14 +218,7 @@ func FailureScenarios(kind TopoKind, n int, seed int64, pairs int) *FailureResul
 	snap := buildSnapshot(g, p.Disco.ND.K, p.Env.Landmarks)
 
 	// Edge list indexed by EID for uniform link draws.
-	edges := make([]graph.EdgeKey, g.M())
-	for u := 0; u < n; u++ {
-		for _, e := range g.Neighbors(graph.NodeID(u)) {
-			if e.To > graph.NodeID(u) {
-				edges[e.EID] = graph.EdgeKey{U: graph.NodeID(u), V: e.To}
-			}
-		}
-	}
+	edges := g.EdgeList()
 
 	res := &FailureResult{Kind: kind, N: n, PairsN: pairs}
 	for rowIdx, spec := range failureSpecs(n, g) {
@@ -277,30 +269,52 @@ func FailureScenarios(kind TopoKind, n int, seed int64, pairs int) *FailureResul
 // failed topology, then per-leg deliverability and stretch.
 type failureSample struct {
 	connected bool
-	ok        [5]bool
-	st        [5]float64
+	ok        [numLegs]bool
+	st        [numLegs]float64
 }
 
-// failScratch is one worker's routing state over a repaired snapshot
-// (Disco embeds the NDDisco fork the ND legs route on).
+// numLegs is the number of (protocol, packet-phase) columns every
+// dynamics table reports, and legNames their labels in column order —
+// the single source both repairedLegs and the failures/churn-timeline
+// table headers render from, so reordering or adding a leg cannot
+// silently mislabel a column.
+const numLegs = 5
+
+var legNames = [numLegs]string{"D-f", "ND-f", "ND-l", "S4-f", "S4-l"}
+
+// repairedLegs builds one worker's routing legs over a repaired snapshot
+// through the protocol-agnostic dynamics.Router interface: Disco first
+// packets, NDDisco first/later, S4 first/later. The Disco fork embeds the
+// NDDisco fork the ND legs route on, and every leg shares the worker's
+// destination scratch where the protocol needs one.
+func repairedLegs(p *Protocols, rep *snapshot.Snapshot, dest *pathtree.Lazy) [numLegs]dynamics.Leg {
+	d := p.Disco.ForkRepaired(rep)
+	s4f := p.S4.ForkRepaired(rep, dest)
+	return [numLegs]dynamics.Leg{
+		{Name: legNames[0], R: d},
+		{Name: legNames[1], R: d.ND},
+		{Name: legNames[2], R: d.ND, Later: true},
+		{Name: legNames[3], R: s4f},
+		{Name: legNames[4], R: s4f, Later: true},
+	}
+}
+
+// failScratch is one worker's routing state over a repaired snapshot.
 type failScratch struct {
 	dest *pathtree.Lazy
-	d    *core.Disco
-	s4f  *s4.S4
+	legs [numLegs]dynamics.Leg
 }
 
 // routeFailurePairs routes every sampled pair over the repaired snapshot
-// on the worker pool, returning samples in pair order.
+// on the worker pool, returning samples in pair order. The same machinery
+// serves the failures family and the churn timeline — protocols appear
+// only as dynamics.Leg entries.
 func routeFailurePairs(p *Protocols, rep *snapshot.Snapshot, ps []metrics.Pair) []failureSample {
 	fg := rep.Graph()
 	return parallel.MapScratch(len(ps),
 		func() *failScratch {
 			dest := pathtree.NewLazy(fg)
-			return &failScratch{
-				dest: dest,
-				d:    p.Disco.ForkRepaired(rep),
-				s4f:  p.S4.ForkRepaired(rep, dest),
-			}
+			return &failScratch{dest: dest, legs: repairedLegs(p, rep, dest)}
 		},
 		func(sc *failScratch, i int) failureSample {
 			s, t := graph.NodeID(ps[i].Src), graph.NodeID(ps[i].Dst)
@@ -310,24 +324,14 @@ func routeFailurePairs(p *Protocols, rep *snapshot.Snapshot, ps []metrics.Pair) 
 				return failureSample{} // disconnected (or degenerate) pair
 			}
 			out := failureSample{connected: true}
-			nd := sc.d.ND
-			record := func(leg int, route []graph.NodeID, ok bool) {
+			for leg := range sc.legs {
+				route, ok := sc.legs[leg].Route(s, t)
 				if !ok {
-					return
+					continue
 				}
 				out.ok[leg] = true
 				out.st[leg] = metrics.Stretch(fg.PathLength(route), short)
 			}
-			r0, ok0 := sc.d.RepairedFirstRoute(s, t)
-			record(0, r0, ok0)
-			r1, ok1 := nd.RepairedFirstRoute(s, t)
-			record(1, r1, ok1)
-			r2, ok2 := nd.RepairedLaterRoute(s, t)
-			record(2, r2, ok2)
-			r3, ok3 := sc.s4f.RepairedFirstRoute(s, t)
-			record(3, r3, ok3)
-			r4, ok4 := sc.s4f.RepairedLaterRoute(s, t)
-			record(4, r4, ok4)
 			return out
 		})
 }

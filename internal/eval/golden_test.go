@@ -84,3 +84,15 @@ func TestGoldenFig9Scaling(t *testing.T) {
 func TestGoldenFailures(t *testing.T) {
 	checkGolden(t, "failures_gnm256", FailureScenarios(TopoGnm, 256, 1, 500).Format())
 }
+
+// TestGoldenChurnTimeline pins the continuous-churn timeline — blast radii,
+// calibrated message model and per-event delivery. The parameters match
+// the CI smoke step (`discosim -exp churn-timeline -n 256 -seed 1`), which
+// diffs the harness's stdout against this same golden file.
+func TestGoldenChurnTimeline(t *testing.T) {
+	r, err := ChurnTimeline(TopoGnm, 256, 1, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "churn_timeline_gnm256", r.Format())
+}

@@ -274,6 +274,41 @@ func (g *Graph) Bridges() []bool {
 	return bridge
 }
 
+// half is one undirected edge as seen from its lower endpoint — the
+// canonical representative the EID-ordered copy loops iterate.
+type half struct {
+	u NodeID
+	e Edge
+}
+
+// halvesByEID returns every undirected edge once, indexed by EID, each as
+// its lower-endpoint half. Both graph-copy operations (WithoutEdges,
+// WithEdges) rebuild from this so surviving edges keep their relative
+// numbering — the determinism contract their doc comments promise.
+func (g *Graph) halvesByEID() []half {
+	byID := make([]half, g.m)
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if e.To > NodeID(u) {
+				byID[e.EID] = half{u: NodeID(u), e: e}
+			}
+		}
+	}
+	return byID
+}
+
+// EdgeList returns every undirected link once, indexed by EID, in
+// canonical (U < V) spelling — the uniform-draw table the dynamics
+// experiments sample failures from.
+func (g *Graph) EdgeList() []EdgeKey {
+	byID := g.halvesByEID()
+	out := make([]EdgeKey, len(byID))
+	for id, h := range byID {
+		out[id] = EdgeKey{U: h.u, V: h.e.To}
+	}
+	return out
+}
+
 // WithoutEdges returns a copy of g minus the edges whose IDs are marked in
 // dead (indexed by EID, length M()). Node IDs are preserved; edge IDs are
 // renumbered densely in the same deterministic order AddEdge assigned them.
@@ -284,25 +319,36 @@ func (g *Graph) WithoutEdges(dead []bool) *Graph {
 		panic(fmt.Sprintf("graph: WithoutEdges mask has %d entries for %d edges", len(dead), g.m))
 	}
 	g2 := New(g.N())
-	// Iterate undirected edges once each in EID order so the surviving
-	// edges keep their relative numbering.
-	type half struct {
-		u NodeID
-		e Edge
-	}
-	byID := make([]half, g.m)
-	for u := range g.adj {
-		for _, e := range g.adj[u] {
-			if e.To > NodeID(u) {
-				byID[e.EID] = half{u: NodeID(u), e: e}
-			}
-		}
-	}
-	for id, h := range byID {
+	for id, h := range g.halvesByEID() {
 		if dead[id] {
 			continue
 		}
 		g2.AddEdge(h.u, h.e.To, h.e.Weight)
+	}
+	g2.Finalize()
+	return g2
+}
+
+// WeightedLink names one undirected link together with its weight — the
+// unit of link recovery: restoring a previously failed link needs the
+// weight back, which the failed graph no longer records.
+type WeightedLink struct {
+	U, V NodeID
+	W    float64
+}
+
+// WithEdges returns a copy of g plus the given additional links. Existing
+// edges keep their relative EID order (renumbered densely, as WithoutEdges
+// does); added links get the next IDs in the order given, so identical
+// inputs always produce identical graphs. The copy is returned Finalized.
+// This is the topology after a recovery event: restored links exist again.
+func (g *Graph) WithEdges(adds []WeightedLink) *Graph {
+	g2 := New(g.N())
+	for _, h := range g.halvesByEID() {
+		g2.AddEdge(h.u, h.e.To, h.e.Weight)
+	}
+	for _, a := range adds {
+		g2.AddEdge(a.U, a.V, a.W)
 	}
 	g2.Finalize()
 	return g2

@@ -3,6 +3,7 @@ package s4
 import (
 	"math"
 
+	"disco/internal/dynamics"
 	"disco/internal/graph"
 	"disco/internal/pathtree"
 	"disco/internal/snapshot"
@@ -16,7 +17,11 @@ import (
 // assignment. The per-pair destination Dijkstra that already funds the
 // stretch denominator supplies those distances, so cluster checks stay
 // exact without any global recomputation. ok=false replaces the panics of
-// the connected-world paths when a destination is undeliverable.
+// the connected-world paths when a destination is undeliverable. The
+// repaired view satisfies dynamics.Router, the protocol-agnostic
+// interface the timeline engine and experiments route through.
+
+var _ dynamics.Router = (*S4)(nil)
 
 // ForkRepaired returns an S4 routing view over the repaired snapshot,
 // with a destination scratch bound to the failed topology. A non-nil dest
@@ -96,20 +101,14 @@ func (s *S4) RepairedFirstRoute(src, t graph.NodeID) ([]graph.NodeID, bool) {
 	return joinTrim(toOwner, rest), true
 }
 
-// repairedWalkToDest walks the packet along route (src ⇝ l_t), diverting
-// to the exact path at the first node whose post-failure cluster contains
-// t; the landmark itself always diverts, so the walk never runs off the
-// end. The destination scratch must be bound to t.
+// repairedWalkToDest walks the packet along route (src ⇝ l_t) via the
+// shared dynamics walk, diverting to the exact path at the first node
+// whose post-failure cluster contains t; the landmark itself always
+// diverts, so the walk never runs off the end. The destination scratch
+// must be bound to t.
 func (s *S4) repairedWalkToDest(route []graph.NodeID, lmd float64) []graph.NodeID {
 	t := s.dest.Root()
-	for i, u := range route {
-		if u == t {
-			return route[:i+1]
-		}
-		if s.Env.IsLM[u] || s.dest.Dist(u) < lmd {
-			direct := s.dest.PathFrom(u)
-			return append(route[:i:i], direct...)
-		}
-	}
-	return route
+	return dynamics.WalkToDest(route, t,
+		func(u graph.NodeID) bool { return s.Env.IsLM[u] || s.dest.Dist(u) < lmd },
+		func(u graph.NodeID) []graph.NodeID { return s.dest.PathFrom(u) })
 }

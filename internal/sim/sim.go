@@ -6,8 +6,6 @@
 // scheduling order (FIFO), so runs are exactly reproducible.
 package sim
 
-import "container/heap"
-
 // Time is simulated time; link latencies are added as delays.
 type Time = float64
 
@@ -17,23 +15,60 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap over a typed event slice.
+// container/heap's interface methods would box every event through
+// interface{} on each Push and Pop — one allocation per scheduled event,
+// which dominates the engine's cost on million-event convergence runs
+// (see BenchmarkEngine). The (at, seq) key is a total order, so any
+// correct heap pops events in exactly the same sequence.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *eventHeap) push(it event) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.before(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the fn reference for the GC
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && q.before(l, s) {
+			s = l
+		}
+		if r < n && q.before(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i], q[s] = q[s], q[i]
+		i = s
+	}
+	return top
 }
 
 // Engine is a deterministic discrete event scheduler. The zero value is
@@ -60,7 +95,7 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 		panic("sim: negative delay")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.events.push(event{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // Run processes events until the queue drains (protocol quiescence — the
@@ -73,7 +108,7 @@ func (e *Engine) Run(maxSteps uint64) (steps uint64, quiesced bool) {
 		if maxSteps > 0 && done >= maxSteps {
 			return done, false
 		}
-		it := heap.Pop(&e.events).(event)
+		it := e.events.pop()
 		e.now = it.at
 		e.steps++
 		done++

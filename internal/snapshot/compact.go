@@ -156,29 +156,31 @@ func encodeWindow(w *bits.Writer, idWidth, pWidth int, win []vicinity.Entry) {
 }
 
 // decodeWindow materializes node v's vicinity window from the shared blob.
+// The window holds winLen(v) entries: k on from-scratch builds, possibly
+// fewer on a folded repair chain whose failures disconnected v's region.
 func (s *Snapshot) decodeWindow(v graph.NodeID) []vicinity.Entry {
-	k := s.k
-	if k == 0 {
+	ln := s.winLen(v)
+	if ln == 0 {
 		return nil
 	}
 	a, b := s.vicOff[v], s.vicOff[v+1]
 	r := bits.NewReader(s.vicBlob[a:b], int(b-a)*8)
-	entries := make([]vicinity.Entry, k)
+	entries := make([]vicinity.Entry, ln)
 	id := graph.NodeID(r.ReadBits(s.idWidth))
 	entries[0].Node = id
-	for i := 1; i < k; i++ {
+	for i := 1; i < ln; i++ {
 		id += graph.NodeID(r.ReadGamma())
 		entries[i].Node = id
 	}
-	for i := 0; i < k; i++ {
+	for i := 0; i < ln; i++ {
 		idx := int(r.ReadBits(s.pWidth))
-		if idx == k {
+		if idx == ln {
 			entries[i].Parent = graph.None
 		} else {
 			entries[i].Parent = entries[idx].Node
 		}
 	}
-	for i := 0; i < k; i++ {
+	for i := 0; i < ln; i++ {
 		entries[i].Dist = float64(math.Float32frombits(uint32(r.ReadBits(32))))
 	}
 	return entries
@@ -190,7 +192,8 @@ func (s *Snapshot) decodeWindow(v graph.NodeID) []vicinity.Entry {
 // This keeps the per-hop membership probes of the forwarding loops cheap
 // in the compact regime.
 func (s *Snapshot) compactContains(v, w graph.NodeID) bool {
-	if s.k == 0 {
+	ln := s.winLen(v)
+	if ln == 0 {
 		return false
 	}
 	a, b := s.vicOff[v], s.vicOff[v+1]
@@ -200,7 +203,7 @@ func (s *Snapshot) compactContains(v, w graph.NodeID) bool {
 		if id >= w {
 			return id == w
 		}
-		if i == s.k {
+		if i == ln {
 			return false
 		}
 		id += graph.NodeID(r.ReadGamma())

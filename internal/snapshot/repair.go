@@ -1,29 +1,46 @@
 // Incremental snapshot repair: ApplyFailures turns an immutable snapshot
 // plus a set of failed links into a new snapshot of the failed topology by
 // recomputing only the affected region, sharing everything else with the
-// parent copy-on-write. Repair cost then tracks the failure's blast radius
-// instead of n — the property that makes failure-scenario experiments
-// affordable at the paper-scale sizes the compact encoding unlocked.
+// parent copy-on-write; ApplyRecoveries is its dual, restoring links and
+// repairing the same blast radius in reverse. Repair cost then tracks the
+// event's blast radius instead of n — the property that makes continuous
+// churn affordable at the paper-scale sizes the compact encoding unlocked.
 //
-// What "affected" means is exact, not heuristic, and rests on two facts
-// about the deterministic Dijkstra in internal/graph (strict-improvement
-// parent updates, ties broken by node ID):
+// What "affected" means is exact, not heuristic, and rests on facts about
+// the deterministic Dijkstra in internal/graph (strict-improvement parent
+// updates, ties broken by node ID):
 //
-//   - A vicinity window V(x) changes only if some failed link has BOTH
-//     endpoints inside the window. With one endpoint settled, the link was
-//     only ever relaxed toward an unsettled node, which cannot alter the
-//     first k settles or their parents; with both endpoints outside, the
-//     link was never relaxed at all.
-//   - A landmark forest row changes only if some failed link is a TREE
-//     edge of that row (parent[u] = v or parent[v] = u). A non-tree link
-//     never supplied a final parent, and its absence perturbs neither
-//     distances nor the settle order.
+//   - Failures: a vicinity window V(x) changes only if some failed link has
+//     BOTH endpoints inside the window (a link with one endpoint settled was
+//     only ever relaxed toward an unsettled node; with both outside it was
+//     never relaxed). A forest row changes only if some failed link is a
+//     TREE edge of that row — a removed non-tree link never supplied a final
+//     parent, and removing relaxations cannot steal a tie.
+//   - Recoveries: a full window V(x) changes only if the new state routes
+//     through the restored link, which puts BOTH endpoints within the
+//     window's radius of x on the recovered topology — so a maxRadius
+//     Dijkstra ball around each endpoint, intersected per link, encloses
+//     every candidate. A shortfall window (fewer than k members, i.e. a
+//     disconnected region) can regain members at any distance, so every
+//     shortfall window in a component containing a restored endpoint is a
+//     candidate too. A forest row needs a full recompute only if the link
+//     reconnects the tree (one endpoint reachable, one not) or strictly
+//     shortens one endpoint's distance; the remaining case — an exact
+//     distance tie, ubiquitous on unit-weight topologies — can steal at
+//     most the tie node's parent, which is patched in place using the
+//     settle-order rule (first-settled candidate wins).
 //
-// Candidate windows for the first criterion are found without scanning all
-// n windows: u ∈ V(x) implies d(x,u) <= radius(V(x)) <= maxRadius, so a
-// Dijkstra ball of radius maxRadius around each failed endpoint encloses
-// every window that could contain it; exact membership is then probed per
-// candidate.
+// Chains compose: a repaired snapshot can be repaired or recovered again.
+// Two mechanisms keep a long repair-of-repair chain from leaking history:
+//
+//   - Rebase: a repaired snapshot holds the chain base's storage arrays
+//     plus ONE merged overlay — never a pointer to the previous link — so
+//     dropping intermediate snapshots really frees them.
+//   - Compaction: when the merged overlay exceeds foldOverlayFraction of
+//     the snapshot's shards, the chain is folded into fresh base-format
+//     storage (both regimes), an O(state) re-encode with no Dijkstra.
+//     CanonicalBytes is invariant under folding, so chained equivalence
+//     with a from-scratch build holds at every step.
 //
 // Unlike Build/BuildCompact, ApplyFailures does NOT require the failed
 // topology to stay connected — that is the point of failure scenarios.
@@ -38,25 +55,49 @@ import (
 	"math"
 	"sort"
 
+	"disco/internal/bits"
 	"disco/internal/graph"
 	"disco/internal/parallel"
 	"disco/internal/vicinity"
 )
 
-// RepairStats reports what one ApplyFailures call recomputed versus
-// shared. "Shards" are the snapshot's repair units: per-node vicinity
-// windows and per-landmark forest rows.
+// foldOverlayFraction is the compaction threshold: once a chained repair's
+// merged overlay exceeds this fraction of the snapshot's shards, the chain
+// is folded into fresh base storage. One-shot repairs of a built snapshot
+// never fold (their overlay dies with them); only chains pay the fold.
+const foldOverlayFraction = 0.25
+
+// RepairStats reports what one ApplyFailures/ApplyRecoveries call
+// recomputed versus shared. "Shards" are the snapshot's repair units:
+// per-node vicinity windows and per-landmark forest rows.
 type RepairStats struct {
-	FailedLinks int // deduplicated links applied by this repair
-	VicRebuilt  int // vicinity windows recomputed
-	VicTotal    int // = n
-	RowsRebuilt int // landmark forest rows recomputed
-	RowsTotal   int // = number of landmarks
-	Candidates  int // nodes scanned by the blast-radius candidate search
+	FailedLinks   int  // deduplicated links removed by this repair
+	RestoredLinks int  // deduplicated links restored by this recovery
+	VicRebuilt    int  // vicinity windows recomputed
+	VicTotal      int  // = n
+	RowsRebuilt   int  // landmark forest rows fully recomputed
+	RowsPatched   int  // forest rows fixed by a single-parent tie patch
+	RowsTotal     int  // = number of landmarks
+	Candidates    int  // nodes scanned by the blast-radius candidate search
+	Folded        bool // the chain overlay hit the compaction threshold
+
+	// The changed-state measure the message model prices: recomputing a
+	// shard is this layer's cost, but a distributed protocol only pays
+	// messages for routes that actually changed. VicChanged counts
+	// recomputed windows that differ from the pre-event state,
+	// VicEntriesChanged the per-entry symmetric difference (withdrawn +
+	// announced routes), and RowNodesChanged the forest parent fields that
+	// moved (tie patches included).
+	VicChanged        int
+	VicEntriesChanged int
+	RowNodesChanged   int
 }
 
-// ShardsRebuilt returns the fraction of shards this repair recomputed —
-// the blast-radius cost measure the repair-equivalence test bounds.
+// ShardsRebuilt returns the fraction of shards this repair fully
+// recomputed — the blast-radius cost measure the repair-equivalence test
+// bounds. A zero-shard snapshot (no nodes, no landmarks) reports 0, not
+// NaN. Tie-patched rows are not counted: a patch rewrites one parent
+// field, not a shard.
 func (st *RepairStats) ShardsRebuilt() float64 {
 	total := st.VicTotal + st.RowsTotal
 	if total == 0 {
@@ -67,17 +108,18 @@ func (st *RepairStats) ShardsRebuilt() float64 {
 
 // repairState is the copy-on-write overlay of a repaired snapshot: the
 // recomputed shards, keyed so reads check here first and fall through to
-// the parent's shared storage. Read-only after ApplyFailures returns, like
-// everything else reachable from a Snapshot.
+// the chain base's shared storage. Read-only after the repair returns,
+// like everything else reachable from a Snapshot. It deliberately holds no
+// pointer to the previous chain link, so intermediates are collectable.
 type repairState struct {
-	parent *Snapshot
-	portG  *graph.Graph // graph whose adjacency the shared compact rows index
-	vic    map[graph.NodeID]*vicinity.Set
-	rows   map[int][]graph.NodeID
-	stats  RepairStats
+	portG *graph.Graph // graph whose adjacency the shared compact rows index
+	vic   map[graph.NodeID]*vicinity.Set
+	rows  map[int][]graph.NodeID
+	stats RepairStats
 }
 
-// Repaired reports whether this snapshot was produced by ApplyFailures.
+// Repaired reports whether this snapshot was produced by ApplyFailures or
+// ApplyRecoveries (possibly folded).
 func (s *Snapshot) Repaired() bool { return s.rep != nil }
 
 // RepairStats returns the statistics of the repair that produced this
@@ -88,6 +130,24 @@ func (s *Snapshot) RepairStats() *RepairStats {
 	}
 	return &s.rep.stats
 }
+
+// OverlayShards returns the number of shards (vicinity windows plus forest
+// rows) held privately by this snapshot's repair overlay — the working-set
+// cost of the chain beyond its shared base. 0 for snapshots built from
+// scratch and for freshly folded chains. The compaction contract bounds it
+// below foldOverlayFraction of the shard count plus one event's blast
+// radius, which the long-chain test asserts.
+func (s *Snapshot) OverlayShards() int {
+	if s.rep == nil {
+		return 0
+	}
+	return len(s.rep.vic) + len(s.rep.rows)
+}
+
+// Shortfalls returns, ascending, the nodes whose vicinity windows hold
+// fewer than k entries (shared slice; do not modify). Non-empty only after
+// a disconnecting failure whose regions have not all recovered.
+func (s *Snapshot) Shortfalls() []graph.NodeID { return s.short }
 
 // ApplyFailures returns a snapshot of this snapshot's topology minus the
 // given links, recomputing only the vicinity windows and forest rows the
@@ -123,29 +183,7 @@ func (s *Snapshot) ApplyFailures(fails []graph.EdgeKey) (*Snapshot, error) {
 	fg := s.g.WithoutEdges(dead)
 
 	affVic, scanned := s.affectedVicinities(uniq)
-	type repairedWindow struct {
-		set   *vicinity.Set
-		bound float64 // unquantized radius bound for future repairs
-	}
-	wins := parallel.MapScratch(len(affVic),
-		func() *graph.SSSP { return graph.NewSSSP(fg) },
-		func(sp *graph.SSSP, i int) repairedWindow {
-			src := affVic[i]
-			sp.RunK(src, s.k)
-			order := sp.Order()
-			win := make([]vicinity.Entry, len(order))
-			fillWindow(win, sp, order)
-			bound := windowBound(win)
-			if s.compact {
-				// Mirror the compact decode: a fresh BuildCompact would
-				// round distances through float32.
-				for j := range win {
-					win[j].Dist = float64(float32(win[j].Dist))
-				}
-			}
-			set := vicinity.MakeSet(src, win)
-			return repairedWindow{set: &set, bound: bound}
-		})
+	wins := recomputeWindows(fg, affVic, s.k, s.compact)
 
 	var affRows []int
 	for row := range s.landmarks {
@@ -160,34 +198,191 @@ func (s *Snapshot) ApplyFailures(fails []graph.EdgeKey) (*Snapshot, error) {
 	for i, row := range affRows {
 		affLms[i] = s.landmarks[row]
 	}
-	newRows := make([][]graph.NodeID, len(affRows))
+	prows := make([][]graph.NodeID, len(affRows))
 	graph.ForEachSource(fg, affLms, func(sp *graph.SSSP, i int, lm graph.NodeID) {
 		sp.Run(lm)
 		prow := make([]graph.NodeID, n)
 		for v := 0; v < n; v++ {
 			prow[v] = sp.Parent(graph.NodeID(v))
 		}
-		newRows[i] = prow
+		prows[i] = prow
 	})
+	newRows := make(map[int][]graph.NodeID, len(affRows))
+	for i, row := range affRows {
+		newRows[row] = prows[i]
+	}
+
+	return s.finishRepair(fg, affVic, wins, newRows, RepairStats{
+		FailedLinks: len(uniq),
+		VicRebuilt:  len(affVic),
+		VicTotal:    n,
+		RowsRebuilt: len(affRows),
+		RowsTotal:   len(s.landmarks),
+		Candidates:  scanned,
+	}), nil
+}
+
+// ApplyRecoveries returns a snapshot of this snapshot's topology plus the
+// given restored links — the dual of ApplyFailures, repairing the same
+// blast radius in reverse. Each restored link must not currently exist
+// (restore what failed, with the weight the failed graph no longer
+// records); links are deduplicated and a negative weight is an error. On a
+// connected result the recovered snapshot is byte-identical (in
+// CanonicalBytes form) to a from-scratch build of the recovered topology.
+func (s *Snapshot) ApplyRecoveries(restores []graph.WeightedLink) (*Snapshot, error) {
+	n := s.g.N()
+	seen := make(map[graph.EdgeKey]bool, len(restores))
+	uniq := make([]graph.WeightedLink, 0, len(restores))
+	for _, r := range restores {
+		key := (graph.EdgeKey{U: r.U, V: r.V}).Norm()
+		if key.U == key.V || key.U < 0 || int(key.V) >= n {
+			return nil, fmt.Errorf("snapshot: invalid link %d-%d", r.U, r.V)
+		}
+		if r.W < 0 {
+			return nil, fmt.Errorf("snapshot: negative weight %v on restored link %d-%d", r.W, r.U, r.V)
+		}
+		if s.g.EdgeID(key.U, key.V) >= 0 {
+			return nil, fmt.Errorf("snapshot: link %d-%d is already alive", key.U, key.V)
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		uniq = append(uniq, graph.WeightedLink{U: key.U, V: key.V, W: r.W})
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("snapshot: ApplyRecoveries needs at least one link")
+	}
+	// Canonical restore order, so identical link sets produce identical
+	// graphs (and so identical snapshots) regardless of caller ordering.
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].U != uniq[j].U {
+			return uniq[i].U < uniq[j].U
+		}
+		return uniq[i].V < uniq[j].V
+	})
+	ng := s.g.WithEdges(uniq)
+
+	affVic, scanned := s.recoveryVicinities(uniq, ng)
+	wins := recomputeWindows(ng, affVic, s.k, s.compact)
+	newRows, full, patched := s.recoveryRows(uniq, ng)
+
+	return s.finishRepair(ng, affVic, wins, newRows, RepairStats{
+		RestoredLinks: len(uniq),
+		VicRebuilt:    len(affVic),
+		VicTotal:      n,
+		RowsRebuilt:   full,
+		RowsPatched:   patched,
+		RowsTotal:     len(s.landmarks),
+		Candidates:    scanned,
+	}), nil
+}
+
+// diffWindows returns the symmetric difference between two vicinity
+// windows (both sorted by member ID), counting removed members, added
+// members, and members whose parent or distance moved — the withdrawals
+// plus announcements a triggered protocol would send for this window.
+func diffWindows(old, new []vicinity.Entry) int {
+	d, i, j := 0, 0, 0
+	for i < len(old) && j < len(new) {
+		switch {
+		case old[i].Node < new[j].Node:
+			d++ // withdrawn
+			i++
+		case old[i].Node > new[j].Node:
+			d++ // announced
+			j++
+		default:
+			if old[i].Parent != new[j].Parent || old[i].Dist != new[j].Dist {
+				d++
+			}
+			i++
+			j++
+		}
+	}
+	return d + (len(old) - i) + (len(new) - j)
+}
+
+// repairedWindow is one recomputed vicinity window plus its unquantized
+// radius bound (kept so maxRadius stays a valid candidate-search bound for
+// future repairs even in the compact regime).
+type repairedWindow struct {
+	set   *vicinity.Set
+	bound float64
+}
+
+// recomputeWindows rebuilds the given vicinity windows on graph g with one
+// truncated Dijkstra each, over the worker pool. In the compact regime the
+// distances round through float32, mirroring what a fresh BuildCompact
+// would store.
+func recomputeWindows(g *graph.Graph, affVic []graph.NodeID, k int, compact bool) []repairedWindow {
+	return parallel.MapScratch(len(affVic),
+		func() *graph.SSSP { return graph.NewSSSP(g) },
+		func(sp *graph.SSSP, i int) repairedWindow {
+			src := affVic[i]
+			sp.RunK(src, k)
+			order := sp.Order()
+			win := make([]vicinity.Entry, len(order))
+			fillWindow(win, sp, order)
+			bound := windowBound(win)
+			if compact {
+				for j := range win {
+					win[j].Dist = float64(float32(win[j].Dist))
+				}
+			}
+			set := vicinity.MakeSet(src, win)
+			return repairedWindow{set: &set, bound: bound}
+		})
+}
+
+// finishRepair assembles the repaired snapshot: base storage shared by
+// value copy, the previous overlay merged with this event's recomputed
+// shards (rebase — no pointer to the previous chain link survives),
+// maxRadius and the shortfall list updated, and the chain folded into
+// fresh base storage when the merged overlay crosses the compaction
+// threshold.
+func (s *Snapshot) finishRepair(ng *graph.Graph, affVic []graph.NodeID, wins []repairedWindow, newRows map[int][]graph.NodeID, stats RepairStats) *Snapshot {
+	// Changed-state accounting against the pre-event snapshot, fanned out
+	// over the worker pool (order-independent integer sums).
+	n := ng.N()
+	vicDiffs := parallel.Map(len(affVic), func(i int) int {
+		return diffWindows(s.Vicinity(affVic[i]).Entries, wins[i].set.Entries)
+	})
+	for _, d := range vicDiffs {
+		if d > 0 {
+			stats.VicChanged++
+			stats.VicEntriesChanged += d
+		}
+	}
+	changedRowKeys := make([]int, 0, len(newRows))
+	for row := range newRows {
+		changedRowKeys = append(changedRowKeys, row)
+	}
+	sort.Ints(changedRowKeys)
+	rowDiffs := parallel.Map(len(changedRowKeys), func(i int) int {
+		row, prow := changedRowKeys[i], newRows[changedRowKeys[i]]
+		d := 0
+		for v := 0; v < n; v++ {
+			if s.parentAt(row, graph.NodeID(v)) != prow[v] {
+				d++
+			}
+		}
+		return d
+	})
+	for _, d := range rowDiffs {
+		stats.RowNodesChanged += d
+	}
 
 	c := &Snapshot{}
-	*c = *s // share all built storage by slice header / pointer
-	c.g = fg
+	*c = *s // share all base storage by slice header / pointer
+	c.g = ng
 	rep := &repairState{
-		parent: s,
-		portG:  s.portGraph(),
-		vic:    make(map[graph.NodeID]*vicinity.Set, len(affVic)),
-		rows:   make(map[int][]graph.NodeID, len(affRows)),
-		stats: RepairStats{
-			FailedLinks: len(uniq),
-			VicRebuilt:  len(affVic),
-			VicTotal:    n,
-			RowsRebuilt: len(affRows),
-			RowsTotal:   len(s.landmarks),
-			Candidates:  scanned,
-		},
+		portG: s.portGraph(),
+		vic:   make(map[graph.NodeID]*vicinity.Set, len(affVic)),
+		rows:  make(map[int][]graph.NodeID, len(newRows)),
+		stats: stats,
 	}
-	// A chained repair extends the parent overlay: older patches stay
+	// A chained repair extends the previous overlay: older patches stay
 	// valid unless recomputed again below.
 	if s.rep != nil {
 		for v, set := range s.rep.vic {
@@ -203,11 +398,41 @@ func (s *Snapshot) ApplyFailures(fails []graph.EdgeKey) (*Snapshot, error) {
 			c.maxRadius = wins[i].bound
 		}
 	}
-	for i, row := range affRows {
-		rep.rows[row] = newRows[i]
+	for row, prow := range newRows {
+		rep.rows[row] = prow
 	}
 	c.rep = rep
-	return c, nil
+
+	// Shortfall bookkeeping: a recomputed window leaves or (re)enters the
+	// list according to its new size.
+	if len(s.short) > 0 || len(affVic) > 0 {
+		shortSet := make(map[graph.NodeID]bool, len(s.short))
+		for _, v := range s.short {
+			shortSet[v] = true
+		}
+		for i, v := range affVic {
+			if wins[i].set.Size() < c.k {
+				shortSet[v] = true
+			} else {
+				delete(shortSet, v)
+			}
+		}
+		c.short = make([]graph.NodeID, 0, len(shortSet))
+		for v := range shortSet {
+			c.short = append(c.short, v)
+		}
+		sort.Slice(c.short, func(i, j int) bool { return c.short[i] < c.short[j] })
+	}
+
+	// Compaction: only chains fold (s already repaired). A one-shot repair
+	// of a built snapshot keeps its overlay — it dies with the snapshot.
+	if s.rep != nil {
+		total := ng.N() + len(s.landmarks)
+		if float64(len(rep.vic)+len(rep.rows)) > foldOverlayFraction*float64(total) {
+			return c.fold()
+		}
+	}
+	return c
 }
 
 // affectedVicinities returns, sorted, every node whose vicinity window can
@@ -268,13 +493,353 @@ func (s *Snapshot) affectedVicinities(uniq []graph.EdgeKey) ([]graph.NodeID, int
 	return aff, scanned
 }
 
+// recoveryVicinities returns, sorted, every node whose vicinity window can
+// change when the given (deduplicated, sorted, nonexistent) links are
+// restored, plus the candidate count scanned. A full window V(x) changes
+// only if the new state routes through a restored link, which places BOTH
+// endpoints within V(x)'s own radius of x on the recovered graph ng — so
+// a maxRadius Dijkstra ball around each endpoint encloses all candidates,
+// and the per-window radius probe prunes the enclosure down to windows the
+// link can actually reach (the probe that keeps a recovery's recompute set
+// blast-radius-sized instead of ball-sized). Shortfall windows instead
+// qualify whenever any restored endpoint sits in their component:
+// reconnection admits new members at any distance.
+func (s *Snapshot) recoveryVicinities(uniq []graph.WeightedLink, ng *graph.Graph) ([]graph.NodeID, int) {
+	epSet := make(map[graph.NodeID]bool, 2*len(uniq))
+	var eps []graph.NodeID
+	for _, r := range uniq {
+		for _, x := range [2]graph.NodeID{r.U, r.V} {
+			if !epSet[x] {
+				epSet[x] = true
+				eps = append(eps, x)
+			}
+		}
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	bound := math.Nextafter(s.maxRadius, math.Inf(1))
+	balls := parallel.MapScratch(len(eps),
+		func() *graph.SSSP { return graph.NewSSSP(ng) },
+		func(sp *graph.SSSP, i int) map[graph.NodeID]float64 {
+			sp.RunRadius(eps[i], bound)
+			m := make(map[graph.NodeID]float64, len(sp.Order()))
+			for _, x := range sp.Order() {
+				m[x] = sp.Dist(x)
+			}
+			return m
+		})
+	ballOf := make(map[graph.NodeID]map[graph.NodeID]float64, len(eps))
+	scanned := 0
+	for i, b := range balls {
+		ballOf[eps[i]] = b
+		scanned += len(b)
+	}
+	seen := make(map[graph.NodeID]bool)
+	var aff []graph.NodeID
+	add := func(x graph.NodeID) {
+		if !seen[x] {
+			seen[x] = true
+			aff = append(aff, x)
+		}
+	}
+	k := s.k
+	for _, r := range uniq {
+		bu, bv := ballOf[r.U], ballOf[r.V]
+		if len(bv) < len(bu) {
+			bu, bv = bv, bu
+		}
+		for x, du := range bu {
+			dv, ok := bv[x]
+			if !ok || seen[x] {
+				continue
+			}
+			set := s.Vicinity(x)
+			if set.Size() < k {
+				continue // shortfall windows: component rule below
+			}
+			rad := set.Radius()
+			if s.compact {
+				rad = float64(math.Nextafter32(float32(rad), float32(math.Inf(1))))
+			}
+			if du <= rad && dv <= rad {
+				add(x)
+			}
+		}
+	}
+	if len(s.short) > 0 {
+		labels, _ := s.g.Components()
+		epLabels := make(map[int32]bool, len(eps))
+		for _, x := range eps {
+			epLabels[labels[x]] = true
+		}
+		for _, v := range s.short {
+			if epLabels[labels[v]] {
+				add(v)
+			}
+		}
+	}
+	sort.Slice(aff, func(i, j int) bool { return aff[i] < aff[j] })
+	return aff, scanned
+}
+
+// settlesBefore reports whether a node at Dijkstra distance d1 settles
+// before one at d2 — the (distance, node ID) pop order every tree in this
+// repository is built with.
+func settlesBefore(d1 float64, n1 graph.NodeID, d2 float64, n2 graph.NodeID) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	return n1 < n2
+}
+
+// rowDist returns v's Dijkstra distance from forest row `row`'s landmark,
+// re-accumulated root→leaf along the tree path in exactly the addition
+// order the Dijkstra used (d[child] = d[parent] + w), so comparisons
+// against it reproduce the original float results bit for bit. v must be
+// reachable on the row.
+func (s *Snapshot) rowDist(row int, v graph.NodeID) float64 {
+	var chain []graph.NodeID
+	for u := v; u != graph.None; u = s.parentAt(row, u) {
+		chain = append(chain, u)
+	}
+	d := 0.0
+	for i := len(chain) - 1; i > 0; i-- {
+		w := s.g.EdgeWeight(chain[i], chain[i-1])
+		if w < 0 {
+			panic(fmt.Sprintf("snapshot: forest row %d holds dead tree edge %d-%d", row, chain[i], chain[i-1]))
+		}
+		d += w
+	}
+	return d
+}
+
+// recoveryRows computes the forest-row updates for a recovery: rows the
+// restored links reconnect or strictly shorten are fully recomputed on ng;
+// rows where a restored link only ties an existing distance get the tie
+// node's parent patched to the first-settled candidate (the deterministic
+// Dijkstra's choice) without any recomputation. Returns the new rows plus
+// the full-recompute and patched-row counts.
+func (s *Snapshot) recoveryRows(uniq []graph.WeightedLink, ng *graph.Graph) (rows map[int][]graph.NodeID, full, patched int) {
+	n := s.g.N()
+	type patch struct {
+		v graph.NodeID // node whose parent may change
+		p graph.NodeID // candidate new parent (a restored-link endpoint)
+		d float64      // candidate's Dijkstra distance from the landmark
+	}
+	var fullRows []int
+	patchesByRow := make(map[int][]patch)
+	for row := range s.landmarks {
+		lm := s.landmarks[row]
+		isFull := false
+		var patches []patch
+		for _, r := range uniq {
+			u, v, w := r.U, r.V, r.W
+			ru := u == lm || s.parentAt(row, u) != graph.None
+			rv := v == lm || s.parentAt(row, v) != graph.None
+			if ru != rv {
+				isFull = true // the link reconnects part of the tree
+				break
+			}
+			if !ru {
+				continue // both endpoints cut off: the link can't reach lm
+			}
+			du, dv := s.rowDist(row, u), s.rowDist(row, v)
+			if du+w < dv || dv+w < du {
+				isFull = true // strict improvement: distances shift
+				break
+			}
+			if du+w == dv && v != lm && settlesBefore(du, u, dv, v) {
+				patches = append(patches, patch{v: v, p: u, d: du})
+			} else if dv+w == du && u != lm && settlesBefore(dv, v, du, u) {
+				patches = append(patches, patch{v: u, p: v, d: dv})
+			}
+		}
+		if isFull {
+			fullRows = append(fullRows, row)
+		} else if len(patches) > 0 {
+			patchesByRow[row] = patches
+		}
+	}
+
+	rows = make(map[int][]graph.NodeID, len(fullRows)+len(patchesByRow))
+	affLms := make([]graph.NodeID, len(fullRows))
+	for i, row := range fullRows {
+		affLms[i] = s.landmarks[row]
+	}
+	prows := make([][]graph.NodeID, len(fullRows))
+	graph.ForEachSource(ng, affLms, func(sp *graph.SSSP, i int, lm graph.NodeID) {
+		sp.Run(lm)
+		prow := make([]graph.NodeID, n)
+		for v := 0; v < n; v++ {
+			prow[v] = sp.Parent(graph.NodeID(v))
+		}
+		prows[i] = prow
+	})
+	for i, row := range fullRows {
+		rows[row] = prows[i]
+	}
+
+	for row, ps := range patchesByRow {
+		// Fold multiple candidates per node to the earliest-settling one,
+		// then let it contest the row's current parent.
+		best := make(map[graph.NodeID]patch, len(ps))
+		for _, pc := range ps {
+			cur, ok := best[pc.v]
+			if !ok || settlesBefore(pc.d, pc.p, cur.d, cur.p) {
+				best[pc.v] = pc
+			}
+		}
+		var prow []graph.NodeID
+		for v, pc := range best {
+			p0 := s.parentAt(row, v)
+			if !settlesBefore(pc.d, pc.p, s.rowDist(row, p0), p0) {
+				continue // the incumbent parent settles first: no change
+			}
+			if prow == nil {
+				prow = make([]graph.NodeID, n)
+				for x := 0; x < n; x++ {
+					prow[x] = s.parentAt(row, graph.NodeID(x))
+				}
+			}
+			prow[v] = pc.p
+		}
+		if prow != nil {
+			rows[row] = prow
+			patched++
+		}
+	}
+	return rows, len(fullRows), patched
+}
+
+// fold materializes the chain's logical route state into fresh base-format
+// storage in the snapshot's own regime — an O(state) re-encode with no
+// shortest-path work — and drops the overlay. The folded snapshot reads
+// and serializes identically (CanonicalBytes is computed from logical
+// state), keeps the repair stats of the step that triggered the fold, and
+// its compact forest rows re-index the current graph's adjacency.
+func (s *Snapshot) fold() *Snapshot {
+	f := &Snapshot{
+		g: s.g, k: s.k, compact: s.compact,
+		landmarks: s.landmarks, lmRow: s.lmRow,
+		maxRadius: s.maxRadius, short: s.short,
+	}
+	if s.compact {
+		s.foldCompactInto(f)
+	} else {
+		s.foldExactInto(f)
+	}
+	stats := s.rep.stats
+	stats.Folded = true
+	f.rep = &repairState{portG: f.g, stats: stats}
+	return f
+}
+
+// foldExactInto rebuilds the exact regime's flat arrays from the chain's
+// logical state. Offsets are variable-width: shortfall windows keep their
+// reduced size.
+func (s *Snapshot) foldExactInto(f *Snapshot) {
+	n := s.g.N()
+	off := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + s.Vicinity(graph.NodeID(v)).Size()
+	}
+	entries := make([]vicinity.Entry, off[n])
+	sets := make([]vicinity.Set, n)
+	parallel.Run(n, func(v int) {
+		src := graph.NodeID(v)
+		win := entries[off[v]:off[v+1]]
+		copy(win, s.Vicinity(src).Entries)
+		sets[v] = vicinity.MakeSet(src, win)
+	})
+	parents := make([]graph.NodeID, len(s.landmarks)*n)
+	parallel.Run(len(s.landmarks), func(row int) {
+		prow := parents[row*n : (row+1)*n]
+		for v := 0; v < n; v++ {
+			prow[v] = s.parentAt(row, graph.NodeID(v))
+		}
+	})
+	f.entries, f.off, f.sets, f.parents = entries, off, sets, parents
+}
+
+// foldCompactInto re-encodes the chain's logical state in the compact wire
+// format, shard by shard like BuildCompact, with the forest rows' port
+// indices rebuilt against the current graph. Window lengths are recorded
+// when any window is short.
+func (s *Snapshot) foldCompactInto(f *Snapshot) {
+	n := s.g.N()
+	f.idWidth, f.pWidth = s.idWidth, s.pWidth
+	vicLen := make([]int32, n)
+	vicOff := make([]int64, n+1)
+	var blob []byte
+	bufs := make([][]byte, min(vicinityShard, n))
+	for base := 0; base < n; base += vicinityShard {
+		m := vicinityShard
+		if base+m > n {
+			m = n - base
+		}
+		parallel.RunScratch(m,
+			func() *encScratch { return &encScratch{} },
+			func(sc *encScratch, i int) {
+				src := graph.NodeID(base + i)
+				win := s.Vicinity(src).Entries
+				vicLen[base+i] = int32(len(win))
+				sc.w.Reset()
+				encodeWindow(&sc.w, s.idWidth, s.pWidth, win)
+				bufs[i] = append([]byte(nil), sc.w.Bytes()...)
+			})
+		for i := 0; i < m; i++ {
+			vicOff[base+i] = int64(len(blob))
+			blob = append(blob, bufs[i]...)
+			bufs[i] = nil
+		}
+	}
+	vicOff[n] = int64(len(blob))
+	f.vicBlob, f.vicOff = blob, vicOff
+	uniform := true
+	for _, ln := range vicLen {
+		if int(ln) != s.k {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		f.vicLen = vicLen
+	}
+
+	degOff := make([]int64, n+1)
+	var pos int64
+	for v := 0; v < n; v++ {
+		degOff[v] = pos
+		pos += int64(bits.Width(s.g.Degree(graph.NodeID(v)) + 1))
+	}
+	degOff[n] = pos
+	f.degOff = degOff
+	f.rowBytes = int((pos + 7) / 8)
+	forest := make([]byte, len(s.landmarks)*f.rowBytes)
+	parallel.RunScratch(len(s.landmarks),
+		func() *encScratch { return &encScratch{} },
+		func(sc *encScratch, row int) {
+			sc.w.Reset()
+			for v := 0; v < n; v++ {
+				deg := s.g.Degree(graph.NodeID(v))
+				port := deg // graph.None sentinel
+				if p := s.parentAt(row, graph.NodeID(v)); p != graph.None {
+					port = s.g.PortOf(graph.NodeID(v), p)
+				}
+				sc.w.WriteBits(uint64(port), int(degOff[v+1]-degOff[v]))
+			}
+			copy(forest[row*f.rowBytes:(row+1)*f.rowBytes], sc.w.Bytes())
+		})
+	f.forest = forest
+}
+
 // CanonicalBytes serializes the snapshot's logical route state — every
 // vicinity window entry and every forest parent, as node IDs and float64
 // distance bits — in a storage-independent canonical form. Two snapshots
 // agree here iff they hold identical route state, regardless of how it is
-// laid out (exact flat arrays, compact bit-packing, or a repair overlay);
-// this is the byte-identity the repair-equivalence test asserts between
-// ApplyFailures and a from-scratch rebuild of the failed topology.
+// laid out (exact flat arrays, compact bit-packing, a repair overlay, or a
+// folded chain); this is the byte-identity the repair- and chain-
+// equivalence tests assert against a from-scratch build of the current
+// topology.
 func (s *Snapshot) CanonicalBytes() []byte {
 	n := s.g.N()
 	var buf []byte

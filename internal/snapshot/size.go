@@ -22,14 +22,25 @@ const (
 
 // Bytes returns the snapshot's backing-array footprint in bytes — the
 // shared cost that replaces every worker's private caches, in whichever
-// storage regime the snapshot was built. Used by the memory-regression
-// benchmark and the -memprofile report.
+// storage regime the snapshot was built, plus the repair overlay a
+// chained snapshot privately owns (recomputed windows as exact entry
+// slices, recomputed forest rows as plain parent arrays). Used by the
+// memory-regression benchmark, the chain-bound test and the -memprofile
+// report.
 func (s *Snapshot) Bytes() int64 {
-	common := int64(len(s.landmarks))*nodeBytes + int64(len(s.lmRow))*int32Bytes
+	common := int64(len(s.landmarks))*nodeBytes + int64(len(s.lmRow))*int32Bytes +
+		int64(len(s.short))*nodeBytes
+	if s.rep != nil {
+		for _, set := range s.rep.vic {
+			common += setBytes + int64(len(set.Entries))*entryBytes
+		}
+		common += int64(len(s.rep.rows)) * int64(s.g.N()) * nodeBytes
+	}
 	if s.compact {
 		return common +
 			int64(len(s.vicBlob)) +
 			int64(len(s.vicOff))*off64Bytes +
+			int64(len(s.vicLen))*int32Bytes +
 			int64(len(s.forest)) +
 			int64(len(s.degOff))*off64Bytes
 	}

@@ -61,8 +61,9 @@ type Snapshot struct {
 	compact  bool
 	vicBlob  []byte
 	vicOff   []int64
-	idWidth  int // bits of the first (absolute) member ID: Width(n)
-	pWidth   int // bits of one parent window index: Width(k+1)
+	vicLen   []int32 // per-node window member count; nil = every window has k
+	idWidth  int     // bits of the first (absolute) member ID: Width(n)
+	pWidth   int     // bits of one parent window index: Width(k+1)
 	forest   []byte
 	degOff   []int64
 	rowBytes int
@@ -78,10 +79,18 @@ type Snapshot struct {
 	maxRadius float64
 
 	// rep is the repair overlay: nil on snapshots built from scratch,
-	// non-nil on snapshots returned by ApplyFailures (see repair.go). All
-	// other storage fields of a repaired snapshot are shared with the
-	// parent; reads check the overlay first.
+	// non-nil on snapshots returned by ApplyFailures/ApplyRecoveries (see
+	// repair.go). All other storage fields of a repaired snapshot are
+	// shared with the chain's base; reads check the overlay first.
 	rep *repairState
+
+	// short lists, ascending, the nodes whose vicinity windows hold fewer
+	// than k entries — only possible after repairs of a disconnecting
+	// failure. Recovery candidate searches need it: a shortfall window can
+	// regain members at any distance, so the maxRadius ball bound does not
+	// apply to it. nil on snapshots built from scratch (builds require a
+	// connected graph, so every window is full).
+	short []graph.NodeID
 }
 
 // Build computes the exact-regime snapshot for graph g with vicinity size k
@@ -217,6 +226,16 @@ func forestShortfall(settled []int32, landmarks []graph.NodeID, n int) error {
 
 // K returns the vicinity size the table was built with (clamped to n).
 func (s *Snapshot) K() int { return s.k }
+
+// winLen returns the number of entries in node v's base-storage window.
+// From-scratch builds always hold k; folded repair chains may hold
+// shortfall windows, recorded in vicLen.
+func (s *Snapshot) winLen(v graph.NodeID) int {
+	if s.vicLen != nil {
+		return int(s.vicLen[v])
+	}
+	return s.k
+}
 
 // Graph returns the graph the snapshot was built over.
 func (s *Snapshot) Graph() *graph.Graph { return s.g }
