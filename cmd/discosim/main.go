@@ -14,15 +14,21 @@
 //	discosim -exp fig3 -full -compact  # paper scale on the compact snapshot
 //	                                   # encoding (~2.5x less route-state memory;
 //	                                   # exact on unit-weight topologies)
+//	discosim -serve -n 1024 -queriers 8
+//	                                   # serving mode: answer route queries
+//	                                   # lock-free WHILE a fail/recover storm
+//	                                   # repairs and republishes the snapshot
+//	                                   # chain (-events bounds the storm)
 //	discosim -list                     # list experiments
 //
 // Experiment output is bit-identical at any -workers value: the harness
 // derives all randomness before fanning out and merges results in task
-// order (see internal/parallel).
+// order (see internal/parallel). The serving mode's per-epoch event log is
+// likewise deterministic; its qps/latency/staleness line is wall-clock.
 //
 // Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 addrsize
 // accuracy nerror fingers imbalance landmarks tradeoff churn failures
-// churn-timeline.
+// churn-timeline serve-storm.
 // (TestDocListsEveryExperiment keeps this list in sync with the
 // experiments table below; -list prints the authoritative table.)
 package main
@@ -45,14 +51,16 @@ import (
 type experiment struct {
 	name string
 	desc string
-	run  func(o opts)
+	run  func(o opts) error
 }
 
 type opts struct {
-	n     int // 0 = per-experiment default
-	seed  int64
-	pairs int
-	full  bool
+	n        int // 0 = per-experiment default
+	seed     int64
+	pairs    int
+	full     bool
+	events   int // serve/serve-storm: storm length (0 = default)
+	queriers int // serve/serve-storm: query goroutines (0 = GOMAXPROCS)
 }
 
 func pick(n, scaled, paper int, full bool) int {
@@ -66,23 +74,27 @@ func pick(n, scaled, paper int, full bool) int {
 }
 
 var experiments = []experiment{
-	{"fig2", "state CDFs: Disco/NDDisco/S4 on geometric, AS-level, router-level", func(o opts) {
+	{"fig2", "state CDFs: Disco/NDDisco/S4 on geometric, AS-level, router-level", func(o opts) error {
 		fmt.Print(eval.Fig2State(eval.TopoGeometric, pick(o.n, 4096, 16384, o.full), o.seed).Format())
 		fmt.Print(eval.Fig2State(eval.TopoASLike, pick(o.n, 4096, 30610, o.full), o.seed).Format())
 		fmt.Print(eval.Fig2State(eval.TopoRouterLike, pick(o.n, 8192, 192244, o.full), o.seed).Format())
+		return nil
 	}},
-	{"fig3", "stretch CDFs (first/later): Disco vs S4 on the three topologies", func(o opts) {
+	{"fig3", "stretch CDFs (first/later): Disco vs S4 on the three topologies", func(o opts) error {
 		fmt.Print(eval.Fig3Stretch(eval.TopoGeometric, pick(o.n, 4096, 16384, o.full), o.seed, o.pairs).Format())
 		fmt.Print(eval.Fig3Stretch(eval.TopoASLike, pick(o.n, 4096, 30610, o.full), o.seed, o.pairs).Format())
 		fmt.Print(eval.Fig3Stretch(eval.TopoRouterLike, pick(o.n, 8192, 192244, o.full), o.seed, o.pairs).Format())
+		return nil
 	}},
-	{"fig4", "state/stretch/congestion incl. VRR on 1,024-node G(n,m)", func(o opts) {
+	{"fig4", "state/stretch/congestion incl. VRR on 1,024-node G(n,m)", func(o opts) error {
 		fmt.Print(eval.Fig45(eval.TopoGnm, pick(o.n, 1024, 1024, o.full), o.seed, o.pairs).Format())
+		return nil
 	}},
-	{"fig5", "state/stretch/congestion incl. VRR on 1,024-node geometric", func(o opts) {
+	{"fig5", "state/stretch/congestion incl. VRR on 1,024-node geometric", func(o opts) error {
 		fmt.Print(eval.Fig45(eval.TopoGeometric, pick(o.n, 1024, 1024, o.full), o.seed, o.pairs).Format())
+		return nil
 	}},
-	{"fig6", "mean stretch for the six shortcutting heuristics x four topologies", func(o opts) {
+	{"fig6", "mean stretch for the six shortcutting heuristics x four topologies", func(o opts) error {
 		n1 := pick(o.n, 2048, 30610, o.full)
 		n2 := pick(o.n, 2048, 192244, o.full)
 		n3 := pick(o.n, 2048, 16384, o.full)
@@ -92,68 +104,81 @@ var experiments = []experiment{
 			{Label: "Geometric", Kind: eval.TopoGeometric, N: n3},
 			{Label: "GNM", Kind: eval.TopoGnm, N: n3},
 		}, o.seed, o.pairs).Format())
+		return nil
 	}},
-	{"fig7", "state in entries and KB (IPv4/IPv6 names) on router-level", func(o opts) {
+	{"fig7", "state in entries and KB (IPv4/IPv6 names) on router-level", func(o opts) error {
 		fmt.Print(eval.Fig7StateBytes(pick(o.n, 8192, 192244, o.full), o.seed).Format())
+		return nil
 	}},
-	{"fig8", "messages/node until convergence vs n (event-driven simulation)", func(o opts) {
+	{"fig8", "messages/node until convergence vs n (event-driven simulation)", func(o opts) error {
 		sizes := []int{128, 256, 512, 1024}
 		pvCap := 512
 		if o.n > 0 {
 			sizes = append(sizes, o.n)
 		}
 		fmt.Print(eval.Fig8Convergence(sizes, pvCap, o.seed).Format())
+		return nil
 	}},
-	{"fig9", "scaling sweep: mean stretch and state vs n, geometric graphs", func(o opts) {
+	{"fig9", "scaling sweep: mean stretch and state vs n, geometric graphs", func(o opts) error {
 		sizes := []int{1024, 2048, 4096, 8192}
 		if o.full {
 			sizes = []int{2048, 4096, 8192, 16384}
 		}
 		fmt.Print(eval.Fig9Scaling(sizes, o.seed, o.pairs).Format())
+		return nil
 	}},
-	{"fig10", "congestion tail on the AS-level topology", func(o opts) {
+	{"fig10", "congestion tail on the AS-level topology", func(o opts) error {
 		fmt.Print(eval.Fig10ASCongestion(pick(o.n, 4096, 30610, o.full), o.seed).Format())
+		return nil
 	}},
-	{"addrsize", "explicit-route address sizes on the router-level map (§4.2)", func(o opts) {
+	{"addrsize", "explicit-route address sizes on the router-level map (§4.2)", func(o opts) error {
 		fmt.Print(eval.AddrSizes(pick(o.n, 16384, 192244, o.full), o.seed).Format())
+		return nil
 	}},
-	{"accuracy", "static vs event-driven simulator agreement (§5)", func(o opts) {
+	{"accuracy", "static vs event-driven simulator agreement (§5)", func(o opts) error {
 		fmt.Print(eval.StaticAccuracy(pick(o.n, 512, 1024, o.full), o.seed, o.pairs).Format())
+		return nil
 	}},
-	{"nerror", "robustness to error in the estimate of n (§5)", func(o opts) {
+	{"nerror", "robustness to error in the estimate of n (§5)", func(o opts) error {
 		n := pick(o.n, 1024, 1024, o.full)
 		fmt.Print(eval.EstimateError(n, o.seed, 0.4, o.pairs).Format())
 		fmt.Print(eval.EstimateError(n, o.seed, 0.6, o.pairs).Format())
+		return nil
 	}},
-	{"fingers", "1 vs 3 overlay fingers: dissemination distance and messages (§5)", func(o opts) {
+	{"fingers", "1 vs 3 overlay fingers: dissemination distance and messages (§5)", func(o opts) error {
 		fmt.Print(eval.FingerExperiment(pick(o.n, 1024, 1024, o.full), o.seed).Format())
+		return nil
 	}},
-	{"imbalance", "resolution-DB load imbalance: 1 vs 8 hash functions (§4.5)", func(o opts) {
+	{"imbalance", "resolution-DB load imbalance: 1 vs 8 hash functions (§4.5)", func(o opts) error {
 		fmt.Print(eval.ResolveImbalance(pick(o.n, 4096, 16384, o.full), o.seed).Format())
+		return nil
 	}},
-	{"landmarks", "operator-chosen landmarks: random vs high/low degree (§6)", func(o opts) {
+	{"landmarks", "operator-chosen landmarks: random vs high/low degree (§6)", func(o opts) error {
 		fmt.Print(eval.LandmarkStrategies(eval.TopoASLike, pick(o.n, 2048, 30610, o.full), o.seed, o.pairs).Format())
+		return nil
 	}},
-	{"tradeoff", "TZ k-level state/stretch tradeoff sweep (§6 future work)", func(o opts) {
+	{"tradeoff", "TZ k-level state/stretch tradeoff sweep (§6 future work)", func(o opts) error {
 		fmt.Print(eval.TradeoffSweep(eval.TopoGnm, pick(o.n, 2048, 16384, o.full), []int{1, 2, 3, 4}, o.seed, o.pairs).Format())
+		return nil
 	}},
-	{"churn", "messages to re-converge after a link failure (§5 future work)", func(o opts) {
+	{"churn", "messages to re-converge after a link failure (§5 future work)", func(o opts) error {
 		r, err := eval.ChurnCost(pick(o.n, 256, 1024, o.full), o.seed, 5)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Print(r.Format())
+		return nil
 	}},
-	{"failures", "delivery and stretch after link/node/region failures on repaired snapshots", func(o opts) {
+	{"failures", "delivery and stretch after link/node/region failures on repaired snapshots", func(o opts) error {
 		kind := eval.TopoGnm
 		n := pick(o.n, 1024, 192244, o.full)
 		if o.full && o.n == 0 {
 			kind = eval.TopoRouterLike // paper-scale: the router-level map
 		}
 		fmt.Print(eval.FailureScenarios(kind, n, o.seed, o.pairs).Format())
+		return nil
 	}},
-	{"churn-timeline", "continuous churn: snapshot timeline with recovery + modeled message cost", func(o opts) {
+	{"churn-timeline", "continuous churn: snapshot timeline with recovery + modeled message cost", func(o opts) error {
 		kind := eval.TopoGnm
 		n := pick(o.n, 1024, 192244, o.full)
 		if o.full && o.n == 0 {
@@ -161,10 +186,23 @@ var experiments = []experiment{
 		}
 		r, err := eval.ChurnTimeline(kind, n, o.seed, o.pairs, 0)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "churn-timeline: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Print(r.Format())
+		return nil
+	}},
+	{"serve-storm", "serving mode: lock-free queries during a fail/recover storm (epochs + staleness)", func(o opts) error {
+		kind := eval.TopoGnm
+		n := pick(o.n, 1024, 192244, o.full)
+		if o.full && o.n == 0 {
+			kind = eval.TopoRouterLike // paper-scale: the router-level map
+		}
+		r, err := eval.ServeStorm(kind, n, o.seed, o.pairs, o.events, o.queriers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		return nil
 	}},
 }
 
@@ -222,6 +260,29 @@ func reportMemory(profilePath string) {
 	fmt.Printf("memory: heap profile written to %s (go tool pprof -sample_index=inuse_space)\n", profilePath)
 }
 
+// validateFlags rejects flag combinations that would otherwise fail deep
+// inside an experiment with an unhelpful message: sizes and pair counts
+// feed directly into topology generation and sampling loops. Returns the
+// first problem found; main reports it and exits 2 (usage error).
+func validateFlags(n int, seed int64, pairs, events, queriers int) error {
+	if n < 0 {
+		return fmt.Errorf("-n must be >= 0 (0 = experiment default), got %d", n)
+	}
+	if pairs <= 0 {
+		return fmt.Errorf("-pairs must be >= 1, got %d", pairs)
+	}
+	if seed < 0 {
+		return fmt.Errorf("-seed must be >= 0 (seeds derive per-task RNG streams), got %d", seed)
+	}
+	if events < 0 {
+		return fmt.Errorf("-events must be >= 0 (0 = default storm length), got %d", events)
+	}
+	if queriers < 0 {
+		return fmt.Errorf("-queriers must be >= 0 (0 = GOMAXPROCS), got %d", queriers)
+	}
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment to run (see -list), or 'all'")
 	n := flag.Int("n", 0, "override network size (0 = experiment default)")
@@ -231,28 +292,60 @@ func main() {
 	compact := flag.Bool("compact", false, "build route-state snapshots in the compact encoding (delta-coded members, float32 distances; ~2.5x less memory — the -full enabler). Exact on unit-weight topologies; geometric distances quantize to float32")
 	workers := flag.Int("workers", 0, "worker pool size for parallel sweeps (0 = GOMAXPROCS); results are identical at any value")
 	memprofile := flag.String("memprofile", "", "write a heap profile here after the run and report peak RSS (the -full feasibility workflow)")
+	serveMode := flag.Bool("serve", false, "serving mode: answer route queries from a concurrent closed-loop load while a fail/recover storm repairs and republishes the snapshot chain (shorthand for -exp serve-storm; combine with -n, -events, -queriers)")
+	events := flag.Int("events", 0, "serving mode: storm length in fail/recover events (0 = 16)")
+	queriers := flag.Int("queriers", 0, "serving mode: concurrent query goroutines (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
+	if err := validateFlags(*n, *seed, *pairs, *events, *queriers); err != nil {
+		fmt.Fprintf(os.Stderr, "discosim: %v\n", err)
+		os.Exit(2)
+	}
 	parallel.SetWorkers(*workers)
 	eval.SetSnapshotCompact(*compact)
+	if *serveMode {
+		if *exp != "" && *exp != "serve-storm" {
+			fmt.Fprintf(os.Stderr, "discosim: -serve and -exp %s conflict (use one)\n", *exp)
+			os.Exit(2)
+		}
+		*exp = "serve-storm"
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
 		for _, e := range experiments {
-			fmt.Printf("  %-10s %s\n", e.name, e.desc)
+			fmt.Printf("  %-14s %s\n", e.name, e.desc)
 		}
 		if *exp == "" {
 			os.Exit(2)
 		}
 		return
 	}
-	o := opts{n: *n, seed: *seed, pairs: *pairs, full: *full}
+	runExperiment := func(e experiment, o opts) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		return e.run(o)
+	}
+
+	o := opts{n: *n, seed: *seed, pairs: *pairs, full: *full, events: *events, queriers: *queriers}
 	ran := false
+	var failed []string
 	for _, e := range experiments {
 		if *exp == "all" || *exp == e.name {
 			start := time.Now()
 			fmt.Printf("== %s: %s ==\n", e.name, e.desc)
-			e.run(o)
+			// A failing experiment must not abort the sweep: report it,
+			// keep going, and only exit nonzero after the remaining
+			// experiments and the memory report have run. Panics count as
+			// failures too — one experiment blowing up at an extreme -n
+			// must not cost the rest of an -exp all run.
+			if err := runExperiment(e, o); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				failed = append(failed, e.name)
+			}
 			fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
 			ran = true
 		}
@@ -263,5 +356,9 @@ func main() {
 	}
 	if *memprofile != "" {
 		reportMemory(*memprofile)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "discosim: %d experiment(s) failed: %s\n", len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }

@@ -36,6 +36,49 @@ func TestDocListsEveryExperiment(t *testing.T) {
 	}
 }
 
+// TestValidateFlags pins the up-front CLI validation: garbage sizes and
+// pair counts must be rejected at flag-parse time with a clear message
+// instead of failing deep inside an experiment.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                    string
+		n                       int
+		seed                    int64
+		pairs, events, queriers int
+		ok                      bool
+	}{
+		{"defaults", 0, 1, 500, 0, 0, true},
+		{"explicit", 16384, 7, 100, 32, 8, true},
+		{"negative n", -1, 1, 500, 0, 0, false},
+		{"zero pairs", 0, 1, 0, 0, 0, false},
+		{"negative pairs", 0, 1, -5, 0, 0, false},
+		{"negative seed", 0, -1, 500, 0, 0, false},
+		{"negative events", 0, 1, 500, -1, 0, false},
+		{"negative queriers", 0, 1, 500, 0, -2, false},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.n, tc.seed, tc.pairs, tc.events, tc.queriers)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid flags accepted", tc.name)
+		}
+	}
+}
+
+// TestListColumnWidth guards the -list alignment: the name column is
+// printed %-14s wide, so every experiment name must fit (churn-timeline,
+// at 14 characters, used to overflow the old %-10s column).
+func TestListColumnWidth(t *testing.T) {
+	const listWidth = 14 // keep in sync with the Printf in main
+	for _, e := range experiments {
+		if len(e.name) > listWidth {
+			t.Errorf("experiment name %q is %d chars; widen the -list column (%%-%ds)", e.name, len(e.name), listWidth)
+		}
+	}
+}
+
 // TestExperimentTableSane guards the table the doc list is synced to:
 // unique names, nonempty descriptions, runnable entries.
 func TestExperimentTableSane(t *testing.T) {

@@ -75,6 +75,66 @@ func TestTimelineFailRecover(t *testing.T) {
 	}
 }
 
+// TestTimelineDownDefensiveCopy is the regression test for the shared
+// Down() slice bug: the returned slice used to alias the timeline's
+// internal sorted down list, so a caller that appended to or reordered it
+// corrupted the bookkeeping. Down() now returns a defensive copy —
+// Recover(tl.Down()) plus arbitrary caller-side mutation of the returned
+// slice must leave the chain consistent and land back on the base state.
+func TestTimelineDownDefensiveCopy(t *testing.T) {
+	env, base := buildBase(t, 192, 3)
+	tl := NewTimeline(base)
+	baseBytes := base.CanonicalBytes()
+
+	var links []graph.EdgeKey
+	for u := graph.NodeID(0); len(links) < 3; u++ {
+		es := env.G.Neighbors(u)
+		links = append(links, (graph.EdgeKey{U: u, V: es[0].To}).Norm())
+	}
+	if _, err := tl.Fail(links); err != nil {
+		t.Fatalf("Fail: %v", err)
+	}
+	if tl.Version() != 1 {
+		t.Fatalf("Version = %d after one event, want 1", tl.Version())
+	}
+
+	// Mutating the returned slice must not touch the timeline's view.
+	d := tl.Down()
+	d[0], d[1] = d[1], d[0]
+	d = append(d, graph.EdgeKey{U: 190, V: 191})
+	_ = d
+	if tl.DownCount() != 3 {
+		t.Fatalf("DownCount = %d after caller-side mutation, want 3", tl.DownCount())
+	}
+	for _, l := range links {
+		if !tl.IsDown(l) {
+			t.Fatalf("link %v lost from the down list after caller-side mutation", l)
+		}
+	}
+
+	// The Recover(tl.Down()) idiom with concurrent caller-side writes to
+	// the passed slice's backing array: the recovery must consume the values
+	// it was handed and fully restore the base.
+	all := tl.Down()
+	if _, err := tl.Recover(all); err != nil {
+		t.Fatalf("Recover(Down()): %v", err)
+	}
+	all[0] = graph.EdgeKey{U: 1, V: 1} // scribble over the consumed slice
+	if tl.DownCount() != 0 {
+		t.Fatalf("DownCount = %d after recovering everything, want 0", tl.DownCount())
+	}
+	if tl.Version() != 2 {
+		t.Fatalf("Version = %d after two events, want 2", tl.Version())
+	}
+	if !bytes.Equal(tl.Snapshot().CanonicalBytes(), baseBytes) {
+		t.Fatal("recover-all after caller-side mutation did not restore the base route state")
+	}
+	// A second Down() call sees fresh, unaliased storage.
+	if got := tl.Down(); len(got) != 0 {
+		t.Fatalf("Down() after recover-all = %v, want empty", got)
+	}
+}
+
 func TestTimelineRejectsUnknownLink(t *testing.T) {
 	_, base := buildBase(t, 96, 5)
 	tl := NewTimeline(base)

@@ -17,10 +17,11 @@ import (
 // graph are never mutated — link weights for recoveries come from the
 // base topology, which is what defines "the link comes back".
 type Timeline struct {
-	base  *snapshot.Snapshot
-	baseG *graph.Graph
-	cur   *snapshot.Snapshot
-	down  []graph.EdgeKey // currently failed base links, sorted
+	base    *snapshot.Snapshot
+	baseG   *graph.Graph
+	cur     *snapshot.Snapshot
+	down    []graph.EdgeKey // currently failed base links, sorted
+	version uint64          // events successfully applied so far
 }
 
 // NewTimeline starts a timeline at a converged snapshot (built from
@@ -33,9 +34,22 @@ func NewTimeline(base *snapshot.Snapshot) *Timeline {
 // plane experiments route on.
 func (tl *Timeline) Snapshot() *snapshot.Snapshot { return tl.cur }
 
-// Down returns the currently failed links, ascending (shared slice; do not
-// modify).
-func (tl *Timeline) Down() []graph.EdgeKey { return tl.down }
+// Version returns the number of events (Fail/Recover calls) successfully
+// applied so far — the epoch sequence number a serving plane publishes the
+// post-event snapshot under. 0 at the base snapshot.
+func (tl *Timeline) Version() uint64 { return tl.version }
+
+// Down returns the currently failed links, ascending. The slice is a
+// defensive copy: callers may sort, append to or otherwise mutate it (the
+// common Recover(tl.Down()) idiom edits the down list mid-iteration)
+// without desynchronizing the timeline's bookkeeping.
+func (tl *Timeline) Down() []graph.EdgeKey {
+	return append([]graph.EdgeKey(nil), tl.down...)
+}
+
+// DownCount returns the number of currently failed links without copying
+// the down list.
+func (tl *Timeline) DownCount() int { return len(tl.down) }
 
 // IsDown reports whether the link is currently failed.
 func (tl *Timeline) IsDown(key graph.EdgeKey) bool {
@@ -52,9 +66,8 @@ func (tl *Timeline) downIndex(key graph.EdgeKey) (int, bool) {
 	return i, i < len(tl.down) && tl.down[i] == key
 }
 
-// normKeys returns the normalized copy of links. Callers may pass the
-// Down() slice itself; the copy keeps the bookkeeping below safe while the
-// down list is edited.
+// normKeys returns the normalized copy of links, so the bookkeeping below
+// never aliases a caller-owned slice.
 func normKeys(links []graph.EdgeKey) []graph.EdgeKey {
 	keys := make([]graph.EdgeKey, len(links))
 	for i, l := range links {
@@ -80,6 +93,7 @@ func (tl *Timeline) Fail(links []graph.EdgeKey) (*snapshot.RepairStats, error) {
 		return nil, err
 	}
 	tl.cur = next
+	tl.version++
 	for _, key := range keys {
 		if i, ok := tl.downIndex(key); !ok {
 			tl.down = append(tl.down, graph.EdgeKey{})
@@ -109,6 +123,7 @@ func (tl *Timeline) Recover(links []graph.EdgeKey) (*snapshot.RepairStats, error
 		return nil, err
 	}
 	tl.cur = next
+	tl.version++
 	for _, key := range keys {
 		if i, ok := tl.downIndex(key); ok {
 			tl.down = append(tl.down[:i], tl.down[i+1:]...)

@@ -215,31 +215,13 @@ func ChurnTimeline(kind TopoKind, n int, seed int64, pairs, events int) (*ChurnT
 
 	res := &ChurnTimelineResult{Kind: kind, N: n, PairsN: pairs, Model: model, CalInit: calInit}
 	for ev := 0; ev < events; ev++ {
-		rng := parallel.TaskRNG(seed*1000003+29, ev)
 		row := TimelineEventRow{Step: ev}
-		var st *snapshot.RepairStats
-		if len(tl.Down()) == 0 || rng.Intn(2) == 0 {
-			// Failure event: 1-2 uniform distinct alive links.
-			count := 1 + rng.Intn(2)
-			links := drawAlive(rng, edges, tl, count)
-			if st, err = tl.Fail(links); err != nil {
-				return nil, fmt.Errorf("eval: timeline fail (event %d): %w", ev, err)
-			}
-			row.Kind, row.Links = "fail", len(links)
-		} else {
-			// Recovery event: 1-2 uniform distinct down links.
-			max := 2
-			if down := len(tl.Down()); down < max {
-				max = down
-			}
-			count := 1 + rng.Intn(max)
-			links := drawDown(rng, tl.Down(), count)
-			if st, err = tl.Recover(links); err != nil {
-				return nil, fmt.Errorf("eval: timeline recover (event %d): %w", ev, err)
-			}
-			row.Kind, row.Links = "recover", len(links)
+		kindStr, nlinks, st, rng, err := stormStep(tl, edges, seed, ev)
+		if err != nil {
+			return nil, err
 		}
-		row.DownAfter = len(tl.Down())
+		row.Kind, row.Links = kindStr, nlinks
+		row.DownAfter = tl.DownCount()
 		row.VicRebuilt = st.VicRebuilt
 		row.RowsRebuilt = st.RowsRebuilt
 		row.VicEntriesMoved = st.VicEntriesChanged
@@ -265,10 +247,43 @@ func ChurnTimeline(kind TopoKind, n int, seed int64, pairs, events int) (*ChurnT
 	return res, nil
 }
 
+// stormStep draws and applies churn-timeline event `ev` on the timeline:
+// with the down list empty or a fair coin, fail 1-2 uniform distinct alive
+// links, otherwise recover 1-2 uniform distinct down links. It returns the
+// event kind, the link count, the repair's blast-radius stats and the
+// event's task RNG — positioned exactly after the draw, so the caller's
+// pair sampling continues the same stream. This is the single definition
+// of the deterministic storm sequence: ChurnTimeline prices it and
+// ServeStorm replays it against a live query load, so for one (seed, n,
+// kind) both experiments see the identical events.
+func stormStep(tl *dynamics.Timeline, edges []graph.EdgeKey, seed int64, ev int) (kind string, links int, st *snapshot.RepairStats, rng *rand.Rand, err error) {
+	rng = parallel.TaskRNG(seed*1000003+29, ev)
+	if tl.DownCount() == 0 || rng.Intn(2) == 0 {
+		// Failure event: 1-2 uniform distinct alive links.
+		count := 1 + rng.Intn(2)
+		drawn := drawAlive(rng, edges, tl, count)
+		if st, err = tl.Fail(drawn); err != nil {
+			return "", 0, nil, nil, fmt.Errorf("eval: timeline fail (event %d): %w", ev, err)
+		}
+		return "fail", len(drawn), st, rng, nil
+	}
+	// Recovery event: 1-2 uniform distinct down links.
+	max := 2
+	if down := tl.DownCount(); down < max {
+		max = down
+	}
+	count := 1 + rng.Intn(max)
+	drawn := drawDown(rng, tl.Down(), count)
+	if st, err = tl.Recover(drawn); err != nil {
+		return "", 0, nil, nil, fmt.Errorf("eval: timeline recover (event %d): %w", ev, err)
+	}
+	return "recover", len(drawn), st, rng, nil
+}
+
 // drawAlive draws `count` distinct currently-alive links uniformly from
 // the base edge list by deterministic rejection.
 func drawAlive(rng *rand.Rand, edges []graph.EdgeKey, tl *dynamics.Timeline, count int) []graph.EdgeKey {
-	if avail := len(edges) - len(tl.Down()); count > avail {
+	if avail := len(edges) - tl.DownCount(); count > avail {
 		count = avail
 	}
 	picked := make(map[graph.EdgeKey]bool, count)

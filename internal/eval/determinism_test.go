@@ -64,6 +64,17 @@ func TestWorkerCountInvariance(t *testing.T) {
 			}
 			return r.Format()
 		}},
+		{"ServeStorm", true, func() string {
+			// Only the deterministic event log — the measured load is
+			// wall-clock by design. Queriers run concurrently with the
+			// pooled probe routing, so under -race this case doubles as a
+			// query-plane-vs-repair-loop race sweep.
+			r, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 4)
+			if err != nil {
+				return "serve-storm error: " + err.Error()
+			}
+			return r.FormatEvents()
+		}},
 	}
 	pooledWorkers := *invarianceWorkers
 	if pooledWorkers < 1 {

@@ -85,6 +85,19 @@ func TestGoldenFailures(t *testing.T) {
 	checkGolden(t, "failures_gnm256", FailureScenarios(TopoGnm, 256, 1, 500).Format())
 }
 
+// TestGoldenServeStorm pins the serving mode's deterministic per-epoch
+// event log. The parameters match the CI serve-smoke step
+// (`discosim -exp serve-storm -n 256 -seed 1`), which strips the measured
+// "measured:" line and diffs the rest against this same golden file —
+// only FormatEvents output lands here, never wall-clock quantities.
+func TestGoldenServeStorm(t *testing.T) {
+	r, err := ServeStorm(TopoGnm, 256, 1, 500, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "serve_storm_gnm256", r.FormatEvents())
+}
+
 // TestGoldenChurnTimeline pins the continuous-churn timeline — blast radii,
 // calibrated message model and per-event delivery. The parameters match
 // the CI smoke step (`discosim -exp churn-timeline -n 256 -seed 1`), which

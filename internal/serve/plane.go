@@ -1,0 +1,174 @@
+// Package serve is the lock-free query plane over the snapshot chain: the
+// long-running serving mode routes queries concurrently WITH the repair
+// loop that drives a dynamics.Timeline through fail/recover events,
+// instead of the batch build→route→print shape of every experiment before
+// it.
+//
+// The design is an atomically published epoch with reference-counted
+// reclamation:
+//
+//   - The publisher (the repair loop) owns the timeline exclusively. After
+//     each event it wraps the post-event snapshot in a snapshot.Handle and
+//     swaps it into the plane's atomic current-epoch pointer; the
+//     superseded epoch's publisher reference is released, so the old
+//     chain state is reclaimed the moment its last in-flight reader
+//     leaves — never under one.
+//   - Query goroutines never lock: they load the current epoch, pin it
+//     with Handle.TryRetain (re-loading on the rare retire race), route on
+//     a pooled per-epoch protocol fork, release, and report the epoch they
+//     answered on. The only mutable shared word on the query path is the
+//     epoch pointer itself.
+//   - Each epoch keeps a sync.Pool of routing forks, so a query costs one
+//     pool Get/Put instead of a fork construction, and forks never migrate
+//     between epochs (a fork reads only its own epoch's snapshot).
+//
+// Why results stay deterministic per epoch: a routing fork is a pure
+// function of (snapshot, s, t) — snapshots are immutable, forks own all
+// their scratch, and every tie-break in the underlying Dijkstra is by node
+// ID. Concurrency therefore only chooses WHICH published epoch answers a
+// query (the staleness the metrics report), never what any given epoch
+// answers — which is what the race suite's "correct for some published
+// epoch" linearizable-staleness check asserts, and why the serve-storm
+// experiment's per-epoch event log is byte-identical across runs while
+// qps and latency are measured quantities.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"disco/internal/dynamics"
+	"disco/internal/graph"
+	"disco/internal/snapshot"
+)
+
+// ForkFunc builds a fresh query-side routing view over one published
+// snapshot. It must return a view that is safe for exclusive use by one
+// goroutine at a time (the plane pools and reuses views, never shares one
+// concurrently).
+type ForkFunc func(snap *snapshot.Snapshot) dynamics.Router
+
+// Epoch is one published (sequence, snapshot) pair plus its fork pool.
+type Epoch struct {
+	seq  uint64
+	h    *snapshot.Handle
+	pool sync.Pool
+}
+
+// Seq returns the epoch's publication sequence number (0 = the base).
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// Plane is the serving query plane: an atomic published-epoch pointer
+// queries read lock-free while a background repair loop publishes
+// post-event snapshots. Create with NewPlane; Publish from ONE publisher
+// goroutine; Route from any number of query goroutines.
+type Plane struct {
+	fork ForkFunc
+	cur  atomic.Pointer[Epoch]
+
+	published atomic.Uint64 // epochs ever published (incl. the base)
+	retired   atomic.Uint64 // superseded epochs whose last reader left
+	queries   atomic.Uint64
+	delivered atomic.Uint64
+	stale     atomic.Uint64
+}
+
+// NewPlane publishes base as epoch 0 and returns the plane.
+func NewPlane(base *snapshot.Snapshot, fork ForkFunc) *Plane {
+	p := &Plane{fork: fork}
+	p.Publish(base)
+	return p
+}
+
+// Publish atomically installs snap as the new current epoch and returns
+// its sequence number. The superseded epoch's publisher reference is
+// released; its state is reclaimed once the last in-flight query on it
+// completes. Single-publisher: callers must serialize Publish (the repair
+// loop owns the timeline anyway).
+func (p *Plane) Publish(snap *snapshot.Snapshot) uint64 {
+	seq := p.published.Add(1) - 1
+	e := &Epoch{seq: seq}
+	e.h = snapshot.NewHandle(snap, seq, func() { p.retired.Add(1) })
+	e.pool.New = func() any { return p.fork(snap) }
+	if old := p.cur.Swap(e); old != nil {
+		old.h.Release()
+	}
+	return seq
+}
+
+// acquire pins the current epoch for one read-side critical section. The
+// TryRetain re-load loop is the whole reclamation protocol: a failed
+// retain means the loaded epoch was retired in the load→retain window,
+// and the publication pointer has necessarily moved on.
+func (p *Plane) acquire() *Epoch {
+	for {
+		e := p.cur.Load()
+		if e.h.TryRetain() {
+			return e
+		}
+	}
+}
+
+// Result is one answered query: the route (nil when the destination is
+// unreachable on the answering epoch), the epoch that answered, and
+// whether a newer epoch had already been published by completion time —
+// the per-query staleness bit the metrics aggregate.
+type Result struct {
+	Route []graph.NodeID
+	OK    bool
+	Epoch uint64
+	Stale bool
+}
+
+// Route answers one route query lock-free on the current epoch: first
+// packets resolve the destination's name (later=false), later packets
+// carry the address from the handshake (later=true). Safe for any number
+// of concurrent callers.
+func (p *Plane) Route(s, t graph.NodeID, later bool) Result {
+	e := p.acquire()
+	r := e.pool.Get().(dynamics.Router)
+	var route []graph.NodeID
+	var ok bool
+	if later {
+		route, ok = r.RepairedLaterRoute(s, t)
+	} else {
+		route, ok = r.RepairedFirstRoute(s, t)
+	}
+	e.pool.Put(r)
+	stale := p.cur.Load() != e
+	e.h.Release()
+
+	p.queries.Add(1)
+	if ok {
+		p.delivered.Add(1)
+	}
+	if stale {
+		p.stale.Add(1)
+	}
+	return Result{Route: route, OK: ok, Epoch: e.seq, Stale: stale}
+}
+
+// Current returns the sequence number of the currently published epoch.
+func (p *Plane) Current() uint64 { return p.cur.Load().seq }
+
+// Metrics is a consistent-enough point-in-time counter snapshot (each
+// counter is individually atomic; the set is not read under one lock —
+// fine for reporting, not for invariant proofs mid-storm).
+type Metrics struct {
+	Queries   uint64 // queries answered
+	Delivered uint64 // queries whose destination was reachable on their epoch
+	Stale     uint64 // queries whose epoch was superseded by completion time
+	Published uint64 // epochs ever published (incl. the base)
+	Retired   uint64 // superseded epochs fully reclaimed (last reader left)
+}
+
+// Metrics reads the plane's counters.
+func (p *Plane) Metrics() Metrics {
+	return Metrics{
+		Queries:   p.queries.Load(),
+		Delivered: p.delivered.Load(),
+		Stale:     p.stale.Load(),
+		Published: p.published.Load(),
+		Retired:   p.retired.Load(),
+	}
+}

@@ -1,0 +1,244 @@
+package serve_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"disco/internal/core"
+	"disco/internal/dynamics"
+	"disco/internal/graph"
+	"disco/internal/serve"
+	"disco/internal/snapshot"
+	"disco/internal/static"
+	"disco/internal/topology"
+	"disco/internal/vicinity"
+)
+
+// buildServeEnv builds a small converged environment, its snapshot and the
+// Disco instance query forks derive from.
+func buildServeEnv(t *testing.T, n int, seed int64) (*static.Env, *snapshot.Snapshot, *core.Disco) {
+	t.Helper()
+	g := topology.GnmAvgDeg(rand.New(rand.NewSource(seed)), n, 8)
+	env := static.NewEnv(g, seed)
+	base, err := snapshot.Build(g, vicinity.DefaultK(n), env.Landmarks)
+	if err != nil {
+		t.Fatalf("snapshot build: %v", err)
+	}
+	return env, base, core.NewDisco(env, core.WithSeed(seed))
+}
+
+// routeKey canonicalizes one answer for comparison with the reference
+// answer recomputed on the same epoch after the storm.
+func routeKey(r serve.Result) string {
+	if !r.OK {
+		return "unreachable"
+	}
+	return fmt.Sprint(r.Route)
+}
+
+// obs is one recorded concurrent answer.
+type obs struct {
+	pair  int
+	later bool
+	epoch uint64
+	key   string
+}
+
+// TestServeConcurrentStorm is the serve path's race suite: N query
+// goroutines run a closed loop against the plane while the publisher
+// drives a fail/recover storm through a dynamics.Timeline, publishing
+// every post-event snapshot. Asserts, per the epoch/staleness contract:
+//
+//   - zero failed or torn reads (every query completes; -race catches
+//     tearing);
+//   - epochs observed by each goroutine are monotone non-decreasing;
+//   - every answer is byte-identical to the answer its epoch's snapshot
+//     gives when re-routed deterministically after the storm — i.e. every
+//     concurrent answer is correct for SOME published epoch (linearizable
+//     staleness), never a blend of two;
+//   - reclamation accounting closes: once all readers leave, every
+//     superseded epoch has been retired and only the current one is live.
+func TestServeConcurrentStorm(t *testing.T) {
+	const (
+		n        = 192
+		seed     = 3
+		queriers = 8
+		events   = 24
+		npairs   = 16
+	)
+	env, base, d := buildServeEnv(t, n, seed)
+	plane := serve.NewPlane(base, func(rep *snapshot.Snapshot) dynamics.Router {
+		return d.ForkRepaired(rep)
+	})
+	tl := dynamics.NewTimeline(base)
+
+	// Fixed query pairs so post-storm verification covers every observation.
+	prng := rand.New(rand.NewSource(seed * 7))
+	pairs := make([][2]graph.NodeID, npairs)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(prng.Intn(n)), graph.NodeID(prng.Intn(n))}
+	}
+
+	var done atomic.Bool
+	recs := make([][]obs, queriers)
+	var wg sync.WaitGroup
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1000 + int64(q)))
+			for !done.Load() {
+				pi := rng.Intn(npairs)
+				later := rng.Intn(2) == 1
+				res := plane.Route(pairs[pi][0], pairs[pi][1], later)
+				recs[q] = append(recs[q], obs{pair: pi, later: later, epoch: res.Epoch, key: routeKey(res)})
+			}
+		}(q)
+	}
+
+	// The publisher: a deterministic storm over the timeline, keeping every
+	// published snapshot for post-hoc verification. Epoch seq == published
+	// count == tl.Version().
+	published := []*snapshot.Snapshot{base}
+	erng := rand.New(rand.NewSource(seed * 13))
+	edges := env.G.EdgeList()
+	for ev := 0; ev < events; ev++ {
+		var err error
+		if tl.DownCount() == 0 || erng.Intn(2) == 0 {
+			var link graph.EdgeKey
+			for {
+				link = edges[erng.Intn(len(edges))]
+				if !tl.IsDown(link) {
+					break
+				}
+			}
+			_, err = tl.Fail([]graph.EdgeKey{link})
+		} else {
+			down := tl.Down()
+			_, err = tl.Recover(down[erng.Intn(len(down)):][:1])
+		}
+		if err != nil {
+			done.Store(true)
+			wg.Wait()
+			t.Fatalf("storm event %d: %v", ev, err)
+		}
+		seq := plane.Publish(tl.Snapshot())
+		if seq != tl.Version() {
+			t.Errorf("published seq %d != timeline version %d", seq, tl.Version())
+		}
+		published = append(published, tl.Snapshot())
+	}
+	done.Store(true)
+	wg.Wait()
+
+	// Monotone epochs per goroutine.
+	total := 0
+	for q, rs := range recs {
+		last := uint64(0)
+		for i, o := range rs {
+			if o.epoch < last {
+				t.Fatalf("querier %d observed epoch %d after %d (obs %d): epochs must be monotone", q, o.epoch, last, i)
+			}
+			last = o.epoch
+		}
+		total += len(rs)
+	}
+	if total == 0 {
+		t.Fatal("no queries completed during the storm")
+	}
+
+	// Every distinct (epoch, pair, phase) answer must equal the
+	// deterministic re-route on that epoch's snapshot: correct for some
+	// published epoch, and never a blend of two.
+	type qk struct {
+		epoch uint64
+		pair  int
+		later bool
+	}
+	want := make(map[qk]string)
+	for _, rs := range recs {
+		for _, o := range rs {
+			k := qk{o.epoch, o.pair, o.later}
+			ref, ok := want[k]
+			if !ok {
+				if o.epoch >= uint64(len(published)) {
+					t.Fatalf("observed epoch %d beyond the %d published", o.epoch, len(published))
+				}
+				fork := d.ForkRepaired(published[o.epoch])
+				var res serve.Result
+				if o.later {
+					res.Route, res.OK = fork.RepairedLaterRoute(pairs[o.pair][0], pairs[o.pair][1])
+				} else {
+					res.Route, res.OK = fork.RepairedFirstRoute(pairs[o.pair][0], pairs[o.pair][1])
+				}
+				res.Epoch = o.epoch
+				ref = routeKey(res)
+				want[k] = ref
+			}
+			if o.key != ref {
+				t.Fatalf("epoch %d pair %v later=%v: concurrent answer %q != deterministic per-epoch answer %q",
+					k.epoch, pairs[o.pair], o.later, o.key, ref)
+			}
+		}
+	}
+
+	// Reclamation accounting: every superseded epoch retired, current live.
+	m := plane.Metrics()
+	if m.Published != events+1 {
+		t.Fatalf("published = %d, want %d", m.Published, events+1)
+	}
+	if m.Retired != m.Published-1 {
+		t.Fatalf("retired = %d with all readers gone, want %d (every superseded epoch)", m.Retired, m.Published-1)
+	}
+	if m.Queries != uint64(total) {
+		t.Fatalf("plane counted %d queries, queriers recorded %d", m.Queries, total)
+	}
+	if plane.Current() != uint64(events) {
+		t.Fatalf("current epoch = %d, want %d", plane.Current(), events)
+	}
+}
+
+// TestPlaneSingleThreadContract checks the plane's sequencing on one
+// goroutine: the base publishes as epoch 0, Publish returns consecutive
+// sequence numbers, fresh answers are not stale, and counters add up.
+func TestPlaneSingleThreadContract(t *testing.T) {
+	_, base, d := buildServeEnv(t, 96, 5)
+	plane := serve.NewPlane(base, func(rep *snapshot.Snapshot) dynamics.Router {
+		return d.ForkRepaired(rep)
+	})
+	if plane.Current() != 0 {
+		t.Fatalf("base epoch = %d, want 0", plane.Current())
+	}
+	res := plane.Route(1, 2, false)
+	if res.Epoch != 0 || res.Stale {
+		t.Fatalf("fresh query on the base: %+v", res)
+	}
+	if !res.OK || len(res.Route) == 0 {
+		t.Fatalf("connected pair undeliverable on the base snapshot: %+v", res)
+	}
+	tl := dynamics.NewTimeline(base)
+	link := (graph.EdgeKey{U: res.Route[0], V: res.Route[1]}).Norm()
+	if len(res.Route) == 1 { // s==t path degenerate; pick any edge instead
+		link = base.Graph().EdgeList()[0]
+	}
+	if _, err := tl.Fail([]graph.EdgeKey{link}); err != nil {
+		t.Fatalf("Fail: %v", err)
+	}
+	if seq := plane.Publish(tl.Snapshot()); seq != 1 {
+		t.Fatalf("second publish seq = %d, want 1", seq)
+	}
+	res = plane.Route(1, 2, true)
+	if res.Epoch != 1 || res.Stale {
+		t.Fatalf("query after publish: %+v", res)
+	}
+	m := plane.Metrics()
+	if m.Queries != 2 || m.Published != 2 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.Retired != 1 {
+		t.Fatalf("retired = %d: the superseded base epoch had no readers left", m.Retired)
+	}
+}

@@ -1,0 +1,103 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+)
+
+// handleSnap builds a tiny placeholder snapshot for handle lifetime tests
+// (the handle never dereferences it, identity is all that matters).
+func handleSnap() *Snapshot { return &Snapshot{} }
+
+func TestHandleLifetime(t *testing.T) {
+	s := handleSnap()
+	retired := 0
+	h := NewHandle(s, 7, func() { retired++ })
+	if h.Epoch() != 7 {
+		t.Fatalf("Epoch = %d, want 7", h.Epoch())
+	}
+	if h.Snapshot() != s {
+		t.Fatal("Snapshot does not return the wrapped snapshot")
+	}
+	if h.Refs() != 1 {
+		t.Fatalf("initial refs = %d, want 1", h.Refs())
+	}
+	if !h.TryRetain() {
+		t.Fatal("TryRetain on a live handle must succeed")
+	}
+	h.Retain()
+	if h.Refs() != 3 {
+		t.Fatalf("refs = %d, want 3", h.Refs())
+	}
+	h.Release()
+	h.Release()
+	if retired != 0 {
+		t.Fatal("onZero fired while references remain")
+	}
+	h.Release() // the publisher's reference: count hits zero
+	if retired != 1 {
+		t.Fatalf("onZero fired %d times, want exactly once", retired)
+	}
+	if h.TryRetain() {
+		t.Fatal("TryRetain on a reclaimed handle must fail")
+	}
+}
+
+func TestHandleReclaimSeversSnapshot(t *testing.T) {
+	h := NewHandle(handleSnap(), 0, nil)
+	h.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot on a reclaimed handle must panic")
+		}
+	}()
+	h.Snapshot()
+}
+
+func TestHandleReleaseBelowZeroPanics(t *testing.T) {
+	h := NewHandle(handleSnap(), 0, nil)
+	h.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release below zero must panic")
+		}
+	}()
+	h.Release()
+}
+
+// TestHandleConcurrentRetainRelease hammers TryRetain/Release from many
+// goroutines against a publisher-style final release, asserting the hook
+// fires exactly once and no retain succeeds afterwards. Run under -race
+// in CI.
+func TestHandleConcurrentRetainRelease(t *testing.T) {
+	var mu sync.Mutex
+	retired := 0
+	h := NewHandle(handleSnap(), 3, func() {
+		mu.Lock()
+		retired++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if h.TryRetain() {
+					_ = h.Snapshot() // must stay valid inside the critical section
+					h.Release()
+				}
+			}
+		}()
+	}
+	h.Release() // publisher retires the epoch concurrently
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if retired != 1 {
+		t.Fatalf("onZero fired %d times, want exactly once", retired)
+	}
+	if h.TryRetain() {
+		t.Fatal("TryRetain after reclamation must fail")
+	}
+}
