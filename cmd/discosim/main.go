@@ -19,6 +19,10 @@
 //	                                   # lock-free WHILE a fail/recover storm
 //	                                   # repairs and republishes the snapshot
 //	                                   # chain (-events bounds the storm)
+//	discosim -serve -forward           # same, on the forwarding fast path:
+//	                                   # compiled next-hop interval tables,
+//	                                   # re-derived per epoch by blast-radius
+//	                                   # invalidation
 //	discosim -list                     # list experiments
 //
 // Experiment output is bit-identical at any -workers value: the harness
@@ -59,8 +63,9 @@ type opts struct {
 	seed     int64
 	pairs    int
 	full     bool
-	events   int // serve/serve-storm: storm length (0 = default)
-	queriers int // serve/serve-storm: query goroutines (0 = GOMAXPROCS)
+	events   int  // serve/serve-storm: storm length (0 = default)
+	queriers int  // serve/serve-storm: query goroutines (0 = GOMAXPROCS)
+	forward  bool // serve/serve-storm: compiled next-hop tables instead of fork-and-walk
 }
 
 func pick(n, scaled, paper int, full bool) int {
@@ -197,7 +202,7 @@ var experiments = []experiment{
 		if o.full && o.n == 0 {
 			kind = eval.TopoRouterLike // paper-scale: the router-level map
 		}
-		r, err := eval.ServeStorm(kind, n, o.seed, o.pairs, o.events, o.queriers)
+		r, err := eval.ServeStorm(kind, n, o.seed, o.pairs, o.events, o.queriers, o.forward)
 		if err != nil {
 			return err
 		}
@@ -264,7 +269,7 @@ func reportMemory(profilePath string) {
 // inside an experiment with an unhelpful message: sizes and pair counts
 // feed directly into topology generation and sampling loops. Returns the
 // first problem found; main reports it and exits 2 (usage error).
-func validateFlags(n int, seed int64, pairs, events, queriers int) error {
+func validateFlags(n int, seed int64, pairs, events, queriers, workers int) error {
 	if n < 0 {
 		return fmt.Errorf("-n must be >= 0 (0 = experiment default), got %d", n)
 	}
@@ -279,6 +284,9 @@ func validateFlags(n int, seed int64, pairs, events, queriers int) error {
 	}
 	if queriers < 0 {
 		return fmt.Errorf("-queriers must be >= 0 (0 = GOMAXPROCS), got %d", queriers)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
 	}
 	return nil
 }
@@ -295,9 +303,10 @@ func main() {
 	serveMode := flag.Bool("serve", false, "serving mode: answer route queries from a concurrent closed-loop load while a fail/recover storm repairs and republishes the snapshot chain (shorthand for -exp serve-storm; combine with -n, -events, -queriers)")
 	events := flag.Int("events", 0, "serving mode: storm length in fail/recover events (0 = 16)")
 	queriers := flag.Int("queriers", 0, "serving mode: concurrent query goroutines (0 = GOMAXPROCS)")
+	forward := flag.Bool("forward", false, "serving mode: answer queries on compiled next-hop interval tables (the forwarding fast path, repair-aware invalidation) instead of protocol fork-and-walk")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
-	if err := validateFlags(*n, *seed, *pairs, *events, *queriers); err != nil {
+	if err := validateFlags(*n, *seed, *pairs, *events, *queriers, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "discosim: %v\n", err)
 		os.Exit(2)
 	}
@@ -330,7 +339,7 @@ func main() {
 		return e.run(o)
 	}
 
-	o := opts{n: *n, seed: *seed, pairs: *pairs, full: *full, events: *events, queriers: *queriers}
+	o := opts{n: *n, seed: *seed, pairs: *pairs, full: *full, events: *events, queriers: *queriers, forward: *forward}
 	ran := false
 	var failed []string
 	for _, e := range experiments {

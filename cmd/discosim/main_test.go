@@ -41,23 +41,24 @@ func TestDocListsEveryExperiment(t *testing.T) {
 // instead of failing deep inside an experiment.
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
-		name                    string
-		n                       int
-		seed                    int64
-		pairs, events, queriers int
-		ok                      bool
+		name                             string
+		n                                int
+		seed                             int64
+		pairs, events, queriers, workers int
+		ok                               bool
 	}{
-		{"defaults", 0, 1, 500, 0, 0, true},
-		{"explicit", 16384, 7, 100, 32, 8, true},
-		{"negative n", -1, 1, 500, 0, 0, false},
-		{"zero pairs", 0, 1, 0, 0, 0, false},
-		{"negative pairs", 0, 1, -5, 0, 0, false},
-		{"negative seed", 0, -1, 500, 0, 0, false},
-		{"negative events", 0, 1, 500, -1, 0, false},
-		{"negative queriers", 0, 1, 500, 0, -2, false},
+		{"defaults", 0, 1, 500, 0, 0, 0, true},
+		{"explicit", 16384, 7, 100, 32, 8, 8, true},
+		{"negative n", -1, 1, 500, 0, 0, 0, false},
+		{"zero pairs", 0, 1, 0, 0, 0, 0, false},
+		{"negative pairs", 0, 1, -5, 0, 0, 0, false},
+		{"negative seed", 0, -1, 500, 0, 0, 0, false},
+		{"negative events", 0, 1, 500, -1, 0, 0, false},
+		{"negative queriers", 0, 1, 500, 0, -2, 0, false},
+		{"negative workers", 0, 1, 500, 0, 0, -4, false},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.n, tc.seed, tc.pairs, tc.events, tc.queriers)
+		err := validateFlags(tc.n, tc.seed, tc.pairs, tc.events, tc.queriers, tc.workers)
 		if tc.ok && err != nil {
 			t.Errorf("%s: unexpected error: %v", tc.name, err)
 		}

@@ -91,7 +91,7 @@ func TestGoldenFailures(t *testing.T) {
 // "measured:" line and diffs the rest against this same golden file —
 // only FormatEvents output lands here, never wall-clock quantities.
 func TestGoldenServeStorm(t *testing.T) {
-	r, err := ServeStorm(TopoGnm, 256, 1, 500, 0, 2)
+	r, err := ServeStorm(TopoGnm, 256, 1, 500, 0, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}

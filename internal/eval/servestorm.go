@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"disco/internal/dynamics"
+	"disco/internal/forward"
 	"disco/internal/graph"
 	"disco/internal/metrics"
 	"disco/internal/serve"
@@ -61,6 +62,7 @@ type ServeEventRow struct {
 // ServeLoad is the measured (nondeterministic) side of the storm.
 type ServeLoad struct {
 	Queriers  int
+	Plane     string // query-plane kind: "fork-and-walk" or "tables"
 	Queries   uint64
 	Delivered uint64
 	Stale     uint64
@@ -112,9 +114,13 @@ func (r *ServeStormResult) Format() string {
 		dlvPct = 100 * float64(l.Delivered) / float64(l.Queries)
 		stalePct = 100 * float64(l.Stale) / float64(l.Queries)
 	}
+	plane := l.Plane
+	if plane == "" {
+		plane = "fork-and-walk"
+	}
 	return r.FormatEvents() + fmt.Sprintf(
-		"  measured: %d queriers, %d queries in %.2fs (%.0f qps), p50 %.1fµs p99 %.1fµs, %.2f%% delivered, %.2f%% stale, epochs %d published / %d reclaimed\n",
-		l.Queriers, l.Queries, l.Secs, qps, l.P50us, l.P99us, dlvPct, stalePct, l.Published, l.Retired)
+		"  measured: %d queriers on the %s plane, %d queries in %.2fs (%.0f qps), p50 %.1fµs p99 %.1fµs, %.2f%% delivered, %.2f%% stale, epochs %d published / %d reclaimed\n",
+		l.Queriers, plane, l.Queries, l.Secs, qps, l.P50us, l.P99us, dlvPct, stalePct, l.Published, l.Retired)
 }
 
 // latHist is a lock-free-enough (single-writer) log-scale latency
@@ -173,9 +179,19 @@ func (h *latHist) quantile(q float64) float64 {
 // (0 = GOMAXPROCS), and replay `events` churn-timeline events (0 = 16)
 // through the repair loop, publishing every post-event snapshot and
 // routing a deterministic probe of `pairs` sampled pairs on each. The
-// event log is bit-identical at any -workers and -queriers value; the
-// measured load is wall-clock.
-func ServeStorm(kind TopoKind, n int, seed int64, pairs, events, queriers int) (*ServeStormResult, error) {
+// event log is bit-identical at any -workers and -queriers value — and
+// independent of the plane kind, since the probe routes through the
+// protocol legs, not the plane; the measured load is wall-clock.
+//
+// tables selects the forwarding fast path: query forks are
+// forward.Router views over compiled next-hop interval tables, derived
+// per epoch by invalidating only the event's blast radius
+// (RepairStats.VicTouched/RowsTouched) — instead of protocol forks
+// walking the snapshot. The table plane serves NDDisco forwarding
+// (address-carrying packets); the fork-and-walk plane serves Disco's
+// resolution-inclusive first packets, so the two modes' measured
+// delivered fractions can differ while the event log stays identical.
+func ServeStorm(kind TopoKind, n int, seed int64, pairs, events, queriers int, tables bool) (*ServeStormResult, error) {
 	if n < 9 {
 		return nil, fmt.Errorf("eval: serve storm needs n >= 9 (G(n,m) at average degree 8), got %d", n)
 	}
@@ -195,9 +211,23 @@ func ServeStorm(kind TopoKind, n int, seed int64, pairs, events, queriers int) (
 	tl := dynamics.NewTimeline(snap)
 	edges := g.EdgeList()
 
-	plane := serve.NewPlane(snap, func(rep *snapshot.Snapshot) dynamics.Router {
-		return p.Disco.ForkRepaired(rep)
-	})
+	var plane *serve.Plane
+	var tbls *forward.Tables
+	planeKind := "fork-and-walk"
+	if tables {
+		planeKind = "tables"
+		tbls = forward.Compile(snap, p.Env.Landmarks, p.Env.LMOf)
+		tbls.Precompile() // pay the compile before the clock starts
+		base := tbls
+		plane = serve.NewPlane(snap, func(*snapshot.Snapshot) dynamics.Router {
+			return base.NewRouter()
+		})
+	} else {
+		plane = serve.NewPlane(snap, func(rep *snapshot.Snapshot) dynamics.Router {
+			return p.Disco.ForkRepaired(rep)
+		})
+	}
+	defer plane.Close()
 
 	// The query load: closed-loop goroutines, each with its own RNG and
 	// latency histogram, running until the storm completes. Their pair
@@ -217,7 +247,7 @@ func ServeStorm(kind TopoKind, n int, seed int64, pairs, events, queriers int) (
 				s, t := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
 				later := rng.Intn(2) == 1
 				t0 := time.Now()
-				plane.Route(s, t, later)
+				plane.Probe(s, t, later)
 				hists[q].add(time.Since(t0).Nanoseconds())
 			}
 		}(q)
@@ -231,7 +261,24 @@ func ServeStorm(kind TopoKind, n int, seed int64, pairs, events, queriers int) (
 			wg.Wait()
 			return nil, err
 		}
-		epoch := plane.Publish(tl.Snapshot())
+		var epoch uint64
+		if tables {
+			// Derive the epoch's tables from the previous epoch's by
+			// invalidating exactly this event's blast radius, and bind the
+			// epoch's forks to them.
+			tbls = tbls.Derive(tl.Snapshot(), st)
+			cur := tbls
+			epoch, err = plane.PublishWith(tl.Snapshot(), func(*snapshot.Snapshot) dynamics.Router {
+				return cur.NewRouter()
+			})
+		} else {
+			epoch, err = plane.Publish(tl.Snapshot())
+		}
+		if err != nil {
+			done.Store(true)
+			wg.Wait()
+			return nil, err
+		}
 		row := ServeEventRow{
 			Step: ev, Kind: kindStr, Links: nlinks, DownAfter: tl.DownCount(),
 			Epoch: epoch, ShardsPct: 100 * st.ShardsRebuilt(),
@@ -256,6 +303,10 @@ func ServeStorm(kind TopoKind, n int, seed int64, pairs, events, queriers int) (
 	done.Store(true)
 	wg.Wait()
 	secs := time.Since(start).Seconds()
+	// The storm is over and the queriers have drained: close the plane so
+	// the final epoch's publisher handle is released too — Metrics then
+	// reports every published epoch reclaimed, not all-but-one.
+	plane.Close()
 
 	merged := &latHist{}
 	for _, h := range hists {
@@ -263,7 +314,7 @@ func ServeStorm(kind TopoKind, n int, seed int64, pairs, events, queriers int) (
 	}
 	m := plane.Metrics()
 	res.Load = ServeLoad{
-		Queriers: queriers, Queries: m.Queries, Delivered: m.Delivered,
+		Queriers: queriers, Plane: planeKind, Queries: m.Queries, Delivered: m.Delivered,
 		Stale: m.Stale, Secs: secs,
 		P50us: merged.quantile(0.50) / 1e3, P99us: merged.quantile(0.99) / 1e3,
 		Published: m.Published, Retired: m.Retired,

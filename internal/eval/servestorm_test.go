@@ -10,11 +10,11 @@ import (
 // invariance half of the epoch/staleness contract (concurrency picks
 // which epoch answers a live query, never what an epoch contains).
 func TestServeStormDeterministicEvents(t *testing.T) {
-	a, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 1)
+	a, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 4)
+	b, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestServeStormReplaysChurnTimeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 2)
+	ss, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestServeStormReplaysChurnTimeline(t *testing.T) {
 // every started query completes (zero failed reads), the reclamation
 // ledger closes, and the latency percentiles are ordered.
 func TestServeStormLoadSanity(t *testing.T) {
-	r, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 4)
+	r, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,8 +63,8 @@ func TestServeStormLoadSanity(t *testing.T) {
 	if l.Published != uint64(len(r.Events))+1 {
 		t.Errorf("published %d epochs, want %d (base + one per event)", l.Published, len(r.Events)+1)
 	}
-	if l.Retired != l.Published-1 {
-		t.Errorf("retired %d epochs with the load drained, want %d", l.Retired, l.Published-1)
+	if l.Retired != l.Published {
+		t.Errorf("retired %d epochs with the load drained and the plane closed, want %d (all of them)", l.Retired, l.Published)
 	}
 	if l.Delivered > l.Queries || l.Stale > l.Queries {
 		t.Errorf("impossible accounting: %+v", l)
@@ -80,11 +80,58 @@ func TestServeStormLoadSanity(t *testing.T) {
 	}
 }
 
+// TestServeStormTablesEventLog: the forwarding-table plane must leave the
+// deterministic event log untouched — the probe routes through the
+// protocol legs, never the plane — and must report itself on the measured
+// line. This is the end-to-end half of the table/fork equivalence story
+// (internal/forward pins per-route byte identity).
+func TestServeStormTablesEventLog(t *testing.T) {
+	fw, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := ServeStorm(TopoGnm, 128, 23, 40, 8, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.FormatEvents() != tb.FormatEvents() {
+		t.Errorf("event log differs between plane kinds:\n--- fork-and-walk ---\n%s--- tables ---\n%s",
+			fw.FormatEvents(), tb.FormatEvents())
+	}
+	if tb.Load.Plane != "tables" || fw.Load.Plane != "fork-and-walk" {
+		t.Errorf("plane kinds misreported: %q / %q", fw.Load.Plane, tb.Load.Plane)
+	}
+	if !strings.Contains(tb.Format(), "on the tables plane") {
+		t.Errorf("measured line must name the plane kind:\n%s", tb.Format())
+	}
+	if tb.Load.Retired != tb.Load.Published {
+		t.Errorf("tables plane: retired %d of %d published epochs", tb.Load.Retired, tb.Load.Published)
+	}
+}
+
+// TestServeStormFormatZeroQueries: a storm no query completes in (tiny
+// machines, instant storms) must print 0%/0 qps, never NaN — the
+// divide-by-query-count guards in Format.
+func TestServeStormFormatZeroQueries(t *testing.T) {
+	r := &ServeStormResult{Kind: TopoGnm, N: 16, PairsN: 1,
+		Load: ServeLoad{Queriers: 4, Plane: "tables"}}
+	out := r.Format()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "nan") {
+		t.Errorf("zero-query Format prints NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "0 queries in 0.00s (0 qps)") {
+		t.Errorf("zero-query measured line malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "0.00% delivered, 0.00% stale") {
+		t.Errorf("zero-query percentages malformed:\n%s", out)
+	}
+}
+
 func TestServeStormValidatesInputs(t *testing.T) {
-	if _, err := ServeStorm(TopoGnm, 4, 1, 40, 4, 1); err == nil {
+	if _, err := ServeStorm(TopoGnm, 4, 1, 40, 4, 1, false); err == nil {
 		t.Error("n below the G(n,m) floor must error")
 	}
-	if _, err := ServeStorm(TopoGnm, 128, 1, 0, 4, 1); err == nil {
+	if _, err := ServeStorm(TopoGnm, 128, 1, 0, 4, 1, false); err == nil {
 		t.Error("pairs < 1 must error")
 	}
 }

@@ -34,6 +34,7 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -42,11 +43,24 @@ import (
 	"disco/internal/snapshot"
 )
 
+// ErrClosed is returned by Publish/PublishWith after Close: a closed
+// plane accepts no new epochs (and answers no further queries).
+var ErrClosed = errors.New("serve: plane is closed")
+
 // ForkFunc builds a fresh query-side routing view over one published
 // snapshot. It must return a view that is safe for exclusive use by one
 // goroutine at a time (the plane pools and reuses views, never shares one
-// concurrently).
+// concurrently). A view that additionally implements
+// dynamics.AppendRouter upgrades the Probe path to allocation-free
+// serving.
 type ForkFunc func(snap *snapshot.Snapshot) dynamics.Router
+
+// slot is one pooled query context: the routing view plus the reusable
+// route buffer the allocation-free Probe path appends into.
+type slot struct {
+	r   dynamics.Router
+	buf []graph.NodeID
+}
 
 // Epoch is one published (sequence, snapshot) pair plus its fork pool.
 type Epoch struct {
@@ -63,8 +77,9 @@ func (e *Epoch) Seq() uint64 { return e.seq }
 // post-event snapshots. Create with NewPlane; Publish from ONE publisher
 // goroutine; Route from any number of query goroutines.
 type Plane struct {
-	fork ForkFunc
-	cur  atomic.Pointer[Epoch]
+	fork   ForkFunc
+	cur    atomic.Pointer[Epoch]
+	closed atomic.Bool
 
 	published atomic.Uint64 // epochs ever published (incl. the base)
 	retired   atomic.Uint64 // superseded epochs whose last reader left
@@ -76,33 +91,65 @@ type Plane struct {
 // NewPlane publishes base as epoch 0 and returns the plane.
 func NewPlane(base *snapshot.Snapshot, fork ForkFunc) *Plane {
 	p := &Plane{fork: fork}
-	p.Publish(base)
+	p.Publish(base) // cannot fail: the plane is not closed yet
 	return p
 }
 
 // Publish atomically installs snap as the new current epoch and returns
-// its sequence number. The superseded epoch's publisher reference is
-// released; its state is reclaimed once the last in-flight query on it
-// completes. Single-publisher: callers must serialize Publish (the repair
-// loop owns the timeline anyway).
-func (p *Plane) Publish(snap *snapshot.Snapshot) uint64 {
+// its sequence number, forking query views with the plane's ForkFunc. The
+// superseded epoch's publisher reference is released; its state is
+// reclaimed once the last in-flight query on it completes.
+// Single-publisher: callers must serialize Publish (the repair loop owns
+// the timeline anyway). Returns ErrClosed after Close.
+func (p *Plane) Publish(snap *snapshot.Snapshot) (uint64, error) {
+	return p.PublishWith(snap, p.fork)
+}
+
+// PublishWith is Publish with a per-epoch ForkFunc — the hook the
+// table-backed serving mode uses to bind each epoch to the forwarding
+// tables derived for exactly that snapshot, instead of a plane-lifetime
+// closure over mutable state.
+func (p *Plane) PublishWith(snap *snapshot.Snapshot, fork ForkFunc) (uint64, error) {
+	if p.closed.Load() {
+		return 0, ErrClosed
+	}
 	seq := p.published.Add(1) - 1
 	e := &Epoch{seq: seq}
 	e.h = snapshot.NewHandle(snap, seq, func() { p.retired.Add(1) })
-	e.pool.New = func() any { return p.fork(snap) }
+	e.pool.New = func() any { return &slot{r: fork(snap)} }
 	if old := p.cur.Swap(e); old != nil {
 		old.h.Release()
 	}
-	return seq
+	return seq, nil
+}
+
+// Close retires the plane: the current epoch's publisher reference is
+// released (so with no in-flight readers Retired reaches Published) and
+// subsequent Publish calls fail with ErrClosed; queries racing with Close
+// return the zero Result (OK=false) without touching the counters.
+// Idempotent. Call when the serving loop is done — without it, the final
+// epoch's reclamation hook never fires and a long-running plane pins the
+// tail of the snapshot chain forever.
+func (p *Plane) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if old := p.cur.Swap(nil); old != nil {
+		old.h.Release()
+	}
 }
 
 // acquire pins the current epoch for one read-side critical section. The
 // TryRetain re-load loop is the whole reclamation protocol: a failed
 // retain means the loaded epoch was retired in the load→retain window,
-// and the publication pointer has necessarily moved on.
+// and the publication pointer has necessarily moved on — or, after Close,
+// gone entirely (nil: the caller answers OK=false).
 func (p *Plane) acquire() *Epoch {
 	for {
 		e := p.cur.Load()
+		if e == nil {
+			return nil
+		}
 		if e.h.TryRetain() {
 			return e
 		}
@@ -126,15 +173,48 @@ type Result struct {
 // of concurrent callers.
 func (p *Plane) Route(s, t graph.NodeID, later bool) Result {
 	e := p.acquire()
-	r := e.pool.Get().(dynamics.Router)
+	if e == nil {
+		return Result{}
+	}
+	sl := e.pool.Get().(*slot)
 	var route []graph.NodeID
 	var ok bool
 	if later {
-		route, ok = r.RepairedLaterRoute(s, t)
+		route, ok = sl.r.RepairedLaterRoute(s, t)
 	} else {
-		route, ok = r.RepairedFirstRoute(s, t)
+		route, ok = sl.r.RepairedFirstRoute(s, t)
 	}
-	e.pool.Put(r)
+	e.pool.Put(sl)
+	return p.finish(e, route, ok)
+}
+
+// Probe is Route without the route: it answers deliverability on the
+// current epoch and drops the path — the closed-loop load generator's
+// entry point. When the epoch's fork implements dynamics.AppendRouter the
+// route is materialized into the slot's pooled buffer and the whole query
+// allocates nothing; otherwise it falls back to the ordinary routing
+// call and discards the slice.
+func (p *Plane) Probe(s, t graph.NodeID, later bool) Result {
+	e := p.acquire()
+	if e == nil {
+		return Result{}
+	}
+	sl := e.pool.Get().(*slot)
+	var ok bool
+	if ar, fast := sl.r.(dynamics.AppendRouter); fast {
+		sl.buf, ok = ar.AppendRoute(sl.buf[:0], s, t, later)
+	} else if later {
+		_, ok = sl.r.RepairedLaterRoute(s, t)
+	} else {
+		_, ok = sl.r.RepairedFirstRoute(s, t)
+	}
+	e.pool.Put(sl)
+	return p.finish(e, nil, ok)
+}
+
+// finish releases the pinned epoch, computes staleness and settles the
+// counters — the shared tail of Route and Probe.
+func (p *Plane) finish(e *Epoch, route []graph.NodeID, ok bool) Result {
 	stale := p.cur.Load() != e
 	e.h.Release()
 
@@ -148,8 +228,14 @@ func (p *Plane) Route(s, t graph.NodeID, later bool) Result {
 	return Result{Route: route, OK: ok, Epoch: e.seq, Stale: stale}
 }
 
-// Current returns the sequence number of the currently published epoch.
-func (p *Plane) Current() uint64 { return p.cur.Load().seq }
+// Current returns the sequence number of the currently published epoch
+// (0 after Close: the plane no longer has one).
+func (p *Plane) Current() uint64 {
+	if e := p.cur.Load(); e != nil {
+		return e.seq
+	}
+	return 0
+}
 
 // Metrics is a consistent-enough point-in-time counter snapshot (each
 // counter is individually atomic; the set is not read under one lock —

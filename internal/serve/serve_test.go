@@ -125,7 +125,10 @@ func TestServeConcurrentStorm(t *testing.T) {
 			wg.Wait()
 			t.Fatalf("storm event %d: %v", ev, err)
 		}
-		seq := plane.Publish(tl.Snapshot())
+		seq, perr := plane.Publish(tl.Snapshot())
+		if perr != nil {
+			t.Fatalf("publish event %d: %v", ev, perr)
+		}
 		if seq != tl.Version() {
 			t.Errorf("published seq %d != timeline version %d", seq, tl.Version())
 		}
@@ -227,8 +230,8 @@ func TestPlaneSingleThreadContract(t *testing.T) {
 	if _, err := tl.Fail([]graph.EdgeKey{link}); err != nil {
 		t.Fatalf("Fail: %v", err)
 	}
-	if seq := plane.Publish(tl.Snapshot()); seq != 1 {
-		t.Fatalf("second publish seq = %d, want 1", seq)
+	if seq, err := plane.Publish(tl.Snapshot()); err != nil || seq != 1 {
+		t.Fatalf("second publish = (%d, %v), want (1, nil)", seq, err)
 	}
 	res = plane.Route(1, 2, true)
 	if res.Epoch != 1 || res.Stale {
@@ -240,5 +243,57 @@ func TestPlaneSingleThreadContract(t *testing.T) {
 	}
 	if m.Retired != 1 {
 		t.Fatalf("retired = %d: the superseded base epoch had no readers left", m.Retired)
+	}
+}
+
+// TestPlaneClose pins the lifecycle fix: before Close the final epoch's
+// publisher reference keeps it live (Retired == Published-1 forever, the
+// leak); after Close with no in-flight readers every epoch — the last one
+// included — is reclaimed, later Publish fails with ErrClosed, queries
+// answer OK=false without disturbing the counters, and closing again is a
+// no-op.
+func TestPlaneClose(t *testing.T) {
+	_, base, d := buildServeEnv(t, 96, 5)
+	plane := serve.NewPlane(base, func(rep *snapshot.Snapshot) dynamics.Router {
+		return d.ForkRepaired(rep)
+	})
+	tl := dynamics.NewTimeline(base)
+	if _, err := tl.Fail(base.Graph().EdgeList()[:1]); err != nil {
+		t.Fatalf("Fail: %v", err)
+	}
+	if _, err := plane.Publish(tl.Snapshot()); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	res := plane.Route(1, 2, false)
+	if res.Epoch != 1 {
+		t.Fatalf("pre-close query answered on epoch %d, want 1", res.Epoch)
+	}
+	if m := plane.Metrics(); m.Retired != m.Published-1 {
+		t.Fatalf("pre-close: retired = %d, want %d (the current epoch is still held)", m.Retired, m.Published-1)
+	}
+
+	plane.Close()
+	m := plane.Metrics()
+	if m.Published != 2 {
+		t.Fatalf("published = %d, want 2", m.Published)
+	}
+	if m.Retired != m.Published {
+		t.Fatalf("after Close with no in-flight readers: retired = %d, want %d (the final epoch must be reclaimed too)", m.Retired, m.Published)
+	}
+	if _, err := plane.Publish(tl.Snapshot()); err != serve.ErrClosed {
+		t.Fatalf("Publish after Close: err = %v, want ErrClosed", err)
+	}
+	if res := plane.Route(1, 2, false); res.OK {
+		t.Fatal("Route after Close must answer OK=false")
+	}
+	if res := plane.Probe(1, 2, true); res.OK {
+		t.Fatal("Probe after Close must answer OK=false")
+	}
+	if got := plane.Metrics(); got.Queries != m.Queries {
+		t.Fatalf("closed-plane queries must not count: %d -> %d", m.Queries, got.Queries)
+	}
+	plane.Close() // idempotent: must not double-release or panic
+	if got := plane.Metrics(); got.Retired != m.Retired {
+		t.Fatalf("second Close changed retired: %d -> %d", m.Retired, got.Retired)
 	}
 }

@@ -91,6 +91,16 @@ type RepairStats struct {
 	VicChanged        int
 	VicEntriesChanged int
 	RowNodesChanged   int
+
+	// The event's touched-shard lists — the exact invalidation set a
+	// derived structure compiled from the parent snapshot (forwarding
+	// tables, caches) must recompile; every shard not listed here is
+	// byte-identical between the parent and this snapshot, folds included.
+	// VicTouched lists, ascending, the nodes whose vicinity windows this
+	// event recomputed; RowsTouched the forest rows recomputed or
+	// tie-patched. Shared slices; do not modify.
+	VicTouched  []graph.NodeID
+	RowsTouched []int
 }
 
 // ShardsRebuilt returns the fraction of shards this repair fully
@@ -372,6 +382,8 @@ func (s *Snapshot) finishRepair(ng *graph.Graph, affVic []graph.NodeID, wins []r
 	for _, d := range rowDiffs {
 		stats.RowNodesChanged += d
 	}
+	stats.VicTouched = affVic
+	stats.RowsTouched = changedRowKeys
 
 	c := &Snapshot{}
 	*c = *s // share all base storage by slice header / pointer

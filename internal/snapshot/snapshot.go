@@ -322,6 +322,26 @@ func (s *Snapshot) portGraph() *graph.Graph {
 	return s.g
 }
 
+// ForestParents returns the parent array of root's shortest-path tree as
+// one flat n-length row indexed by node — when the snapshot already stores
+// it that way: exact-regime base rows and every repaired-overlay row. In
+// the compact regime (no overlay row) it returns nil and callers decode
+// per node via Parent. root must be a landmark. Shared immutable storage;
+// do not modify.
+func (s *Snapshot) ForestParents(root graph.NodeID) []graph.NodeID {
+	row := s.row(root)
+	if s.rep != nil {
+		if prow, ok := s.rep.rows[row]; ok {
+			return prow
+		}
+	}
+	if s.compact {
+		return nil
+	}
+	n := s.g.N()
+	return s.parents[row*n : (row+1)*n : (row+1)*n]
+}
+
 // Parent returns v's predecessor on root's shortest-path tree
 // (graph.None for the root itself) — the data plane's first hop from v
 // toward root; root must be a landmark. On a repaired snapshot, None is
