@@ -26,6 +26,7 @@ import (
 	"disco/internal/addr"
 	"disco/internal/core"
 	"disco/internal/eval"
+	"disco/internal/forward"
 	"disco/internal/graph"
 	"disco/internal/metrics"
 	"disco/internal/overlay"
@@ -33,6 +34,7 @@ import (
 	"disco/internal/pathvector"
 	"disco/internal/sim"
 	"disco/internal/sloppy"
+	"disco/internal/snapshot"
 	"disco/internal/static"
 	"disco/internal/topology"
 	"disco/internal/vicinity"
@@ -424,6 +426,57 @@ func BenchmarkRouteLater(b *testing.B) {
 		}
 		d.LaterRoute(s, t, core.ShortcutNoPathKnowledge)
 	}
+}
+
+// BenchmarkForwardThroughput is the root-harness routes/sec line: the two
+// query planes — protocol fork walking the snapshot versus the compiled
+// next-hop interval tables — over the same n=1024 snapshot, mirroring
+// internal/forward's benchmark so the headline number regenerates from
+// `go test -bench ForwardThroughput` at the repo root. The tables line
+// must stay 0 allocs/op (the fast path's zero-allocation contract).
+func BenchmarkForwardThroughput(b *testing.B) {
+	const n = 1024
+	g := benchGraph(b, n)
+	env := static.NewEnv(g, benchSeed)
+	base, err := snapshot.Build(g, vicinity.DefaultK(n), env.Landmarks)
+	if err != nil {
+		b.Fatalf("snapshot build: %v", err)
+	}
+	nd := core.NewDisco(env, core.WithSeed(benchSeed)).ND
+	ps := metrics.SamplePairs(rand.New(rand.NewSource(benchSeed)), n, 4096)
+
+	b.Run("fork-and-walk", func(b *testing.B) {
+		r := nd.ForkRepaired(base)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pr := ps[i%len(ps)]
+			s, t := graph.NodeID(pr.Src), graph.NodeID(pr.Dst)
+			if i%2 == 0 {
+				r.RepairedFirstRoute(s, t)
+			} else {
+				r.RepairedLaterRoute(s, t)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+	})
+
+	b.Run("tables", func(b *testing.B) {
+		tbls := forward.Compile(base, env.Landmarks, env.LMOf)
+		tbls.Precompile()
+		r := tbls.NewRouter()
+		buf := make([]graph.NodeID, 0, 256)
+		for _, pr := range ps { // steady-state the scratch buffers
+			buf, _ = r.AppendRoute(buf[:0], graph.NodeID(pr.Src), graph.NodeID(pr.Dst), true)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pr := ps[i%len(ps)]
+			buf, _ = r.AppendRoute(buf[:0], graph.NodeID(pr.Src), graph.NodeID(pr.Dst), i%2 == 1)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+	})
 }
 
 func BenchmarkOverlayDisseminate(b *testing.B) {

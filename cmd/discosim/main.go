@@ -269,7 +269,10 @@ func reportMemory(profilePath string) {
 // inside an experiment with an unhelpful message: sizes and pair counts
 // feed directly into topology generation and sampling loops. Returns the
 // first problem found; main reports it and exits 2 (usage error).
-func validateFlags(n int, seed int64, pairs, events, queriers, workers int) error {
+func validateFlags(n int, seed int64, pairs, events, queriers, workers int, spill string, compact bool) error {
+	if spill != "" && !compact {
+		return fmt.Errorf("-spill requires -compact (only the compact shard store has a file encoding)")
+	}
 	if n < 0 {
 		return fmt.Errorf("-n must be >= 0 (0 = experiment default), got %d", n)
 	}
@@ -300,18 +303,26 @@ func main() {
 	compact := flag.Bool("compact", false, "build route-state snapshots in the compact encoding (delta-coded members, float32 distances; ~2.5x less memory — the -full enabler). Exact on unit-weight topologies; geometric distances quantize to float32")
 	workers := flag.Int("workers", 0, "worker pool size for parallel sweeps (0 = GOMAXPROCS); results are identical at any value")
 	memprofile := flag.String("memprofile", "", "write a heap profile here after the run and report peak RSS (the -full feasibility workflow)")
+	spill := flag.String("spill", "", "spill compact snapshot base storage to files under this directory, served through read-only mappings (cold shards leave the heap; requires -compact)")
 	serveMode := flag.Bool("serve", false, "serving mode: answer route queries from a concurrent closed-loop load while a fail/recover storm repairs and republishes the snapshot chain (shorthand for -exp serve-storm; combine with -n, -events, -queriers)")
 	events := flag.Int("events", 0, "serving mode: storm length in fail/recover events (0 = 16)")
 	queriers := flag.Int("queriers", 0, "serving mode: concurrent query goroutines (0 = GOMAXPROCS)")
 	forward := flag.Bool("forward", false, "serving mode: answer queries on compiled next-hop interval tables (the forwarding fast path, repair-aware invalidation) instead of protocol fork-and-walk")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
-	if err := validateFlags(*n, *seed, *pairs, *events, *queriers, *workers); err != nil {
+	if err := validateFlags(*n, *seed, *pairs, *events, *queriers, *workers, *spill, *compact); err != nil {
 		fmt.Fprintf(os.Stderr, "discosim: %v\n", err)
 		os.Exit(2)
 	}
 	parallel.SetWorkers(*workers)
 	eval.SetSnapshotCompact(*compact)
+	if *spill != "" {
+		if err := os.MkdirAll(*spill, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "discosim: -spill: %v\n", err)
+			os.Exit(2)
+		}
+		eval.SetSnapshotSpill(*spill)
+	}
 	if *serveMode {
 		if *exp != "" && *exp != "serve-storm" {
 			fmt.Fprintf(os.Stderr, "discosim: -serve and -exp %s conflict (use one)\n", *exp)

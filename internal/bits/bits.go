@@ -3,9 +3,19 @@
 // encoded in ceil(log2 d) bits, so address sizes are measured in bits, not
 // bytes. (Named after its purpose; the stdlib math/bits package is unrelated
 // and used via alias where needed.)
+//
+// The same codec carries the compact snapshot regime's bit-packed route
+// state, whose fold/decode sweeps touch every window of a paper-scale
+// snapshot — so WriteBits, At and ReadGamma work a byte or a word at a
+// time, never a bit at a time. The bit layout (MSB-first within each byte)
+// is pinned by the fuzz roundtrip suite and by the compact-snapshot
+// goldens; these are implementation fast paths, not format changes.
 package bits
 
-import "fmt"
+import (
+	"fmt"
+	mbits "math/bits"
+)
 
 // Writer accumulates a bit string most-significant-bit first.
 type Writer struct {
@@ -14,37 +24,67 @@ type Writer struct {
 }
 
 // WriteBits appends the low `width` bits of v (0 <= width <= 64),
-// most-significant first.
+// most-significant first. Byte-at-a-time: the first partial byte is
+// or-merged, whole bytes are appended directly.
 func (w *Writer) WriteBits(v uint64, width int) {
 	if width < 0 || width > 64 {
 		panic(fmt.Sprintf("bits: invalid width %d", width))
 	}
-	for i := width - 1; i >= 0; i-- {
-		bit := (v >> uint(i)) & 1
-		byteIdx := w.nbit / 8
-		if byteIdx == len(w.buf) {
-			w.buf = append(w.buf, 0)
+	if width == 0 {
+		return
+	}
+	if width < 64 {
+		v &= (1 << uint(width)) - 1
+	}
+	rem := width
+	// Fill the tail of the current partial byte, if any.
+	if used := w.nbit & 7; used != 0 {
+		free := 8 - used
+		take := free
+		if take > rem {
+			take = rem
 		}
-		if bit == 1 {
-			w.buf[byteIdx] |= 1 << uint(7-w.nbit%8)
-		}
-		w.nbit++
+		chunk := byte(v>>uint(rem-take)) & (0xff >> uint(8-take))
+		w.buf[len(w.buf)-1] |= chunk << uint(free-take)
+		w.nbit += take
+		rem -= take
+	}
+	// Whole bytes.
+	for rem >= 8 {
+		rem -= 8
+		w.buf = append(w.buf, byte(v>>uint(rem)))
+		w.nbit += 8
+	}
+	// Leading bits of a fresh byte.
+	if rem > 0 {
+		chunk := byte(v) & (0xff >> uint(8-rem))
+		w.buf = append(w.buf, chunk<<uint(8-rem))
+		w.nbit += rem
 	}
 }
 
 // WriteGamma appends v >= 1 in Elias gamma coding: floor(log2 v) zero bits,
 // then the binary representation of v. Used for hop counts, which have no
-// a-priori width bound (O~(sqrt(n)) hops on a ring, §4.2).
+// a-priori width bound (O~(sqrt(n)) hops on a ring, §4.2), and for the
+// compact snapshot's member-ID deltas.
 func (w *Writer) WriteGamma(v uint64) {
 	if v == 0 {
 		panic("bits: gamma coding needs v >= 1")
 	}
-	n := 0
-	for t := v; t > 1; t >>= 1 {
-		n++
-	}
+	n := mbits.Len64(v) - 1
 	w.WriteBits(0, n)
 	w.WriteBits(v, n+1)
+}
+
+// GammaLen returns the encoded length of WriteGamma(v) in bits without
+// writing: 2*floor(log2 v) + 1. The compact fold's size pass uses it to
+// compute every shard's encoded size analytically before any shard is
+// written.
+func GammaLen(v uint64) int {
+	if v == 0 {
+		panic("bits: gamma coding needs v >= 1")
+	}
+	return 2*mbits.Len64(v) - 1
 }
 
 // Len returns the number of bits written.
@@ -85,17 +125,30 @@ func (r *Reader) ReadBits(width int) uint64 {
 	return v
 }
 
-// ReadGamma consumes one Elias-gamma-coded value.
+// ReadGamma consumes one Elias-gamma-coded value. The unary zero run is
+// counted a chunk at a time with math/bits.Len, not bit by bit.
 func (r *Reader) ReadGamma() uint64 {
-	n := 0
-	for r.ReadBits(1) == 0 {
-		n++
+	n := 0 // leading zeros consumed
+	for {
+		peek := r.nbit - r.pos
+		if peek > 32 {
+			peek = 32
+		}
+		if peek == 0 {
+			panic(fmt.Sprintf("bits: gamma read past end (%d/%d)", r.pos, r.nbit))
+		}
+		v := At(r.buf, r.pos, peek)
+		lz := peek - mbits.Len64(v)
+		if lz < peek {
+			n += lz
+			r.pos += lz
+			break
+		}
+		n += peek
+		r.pos += peek
 	}
-	if n == 0 {
-		return 1
-	}
-	rest := r.ReadBits(n)
-	return 1<<uint(n) | rest
+	// The next bit is the leading 1 of the value: read it plus n more.
+	return r.ReadBits(n + 1)
 }
 
 // Remaining returns the number of unread bits.
@@ -105,15 +158,23 @@ func (r *Reader) Remaining() int { return r.nbit - r.pos }
 // the Writer's layout) without constructing a Reader — random access into a
 // shared bit-packed array, e.g. one parent field of a compact snapshot row.
 // The caller guarantees pos+width bits exist; reads past len(buf)*8 panic via
-// the slice bound.
+// the slice bound. Byte-at-a-time accumulation: at most 9 byte loads for a
+// 64-bit read, instead of one shift per bit.
 func At(buf []byte, pos, width int) uint64 {
-	var v uint64
-	for i := 0; i < width; i++ {
-		b := (buf[pos/8] >> uint(7-pos%8)) & 1
-		v = v<<1 | uint64(b)
-		pos++
+	if width == 0 {
+		return 0
 	}
-	return v
+	first := pos >> 3
+	last := (pos + width - 1) >> 3
+	v := uint64(buf[first] & (0xff >> uint(pos&7)))
+	if last == first {
+		return v >> uint(7-(pos+width-1)&7)
+	}
+	for i := first + 1; i < last; i++ {
+		v = v<<8 | uint64(buf[i])
+	}
+	lb := uint((pos+width-1)&7) + 1 // bits used in the last byte
+	return v<<lb | uint64(buf[last])>>(8-lb)
 }
 
 // Width returns the number of bits needed to encode values in [0, n), i.e.
@@ -123,9 +184,5 @@ func Width(n int) int {
 	if n <= 1 {
 		return 0
 	}
-	w := 0
-	for v := n - 1; v > 0; v >>= 1 {
-		w++
-	}
-	return w
+	return mbits.Len64(uint64(n - 1))
 }

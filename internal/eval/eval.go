@@ -90,6 +90,13 @@ func SetSnapshotCompact(on bool) { snapshotCompact.Store(on) }
 // encoding regime.
 func SnapshotCompact() bool { return snapshotCompact.Load() }
 
+// SetSnapshotSpill directs subsequently built compact snapshots (and
+// chain folds) to write their base shard storage to files under dir,
+// served through read-only mappings (cmd/discosim -spill). Empty string
+// disables. A pass-through to snapshot.SetSpillDir so the harness
+// configures every storage knob in one place.
+func SetSnapshotSpill(dir string) { snapshot.SetSpillDir(dir) }
+
 // buildSnapshot dispatches to the selected encoding regime. The
 // experiment topologies are connected by construction, so a build error
 // here is a harness bug; panicking with the diagnosable error (outside

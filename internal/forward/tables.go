@@ -222,11 +222,7 @@ func (t *Tables) row(i int32) []graph.NodeID {
 	root := t.landmarks[i]
 	prow := t.snap.ForestParents(root)
 	if prow == nil {
-		n := t.snap.Graph().N()
-		prow = make([]graph.NodeID, n)
-		for v := 0; v < n; v++ {
-			prow[v] = t.snap.Parent(root, graph.NodeID(v))
-		}
+		prow = t.snap.DecodeForestRow(root)
 	}
 	if !t.rows[i].CompareAndSwap(nil, &prow) {
 		return *t.rows[i].Load()

@@ -1,4 +1,4 @@
-// Compact storage regime: the snapshot's route state bit-packed via
+// Compact storage regime: the shard store's route state bit-packed via
 // internal/bits. The constant factor is the whole ballgame for paper-scale
 // runs — the exact table prices a 192,244-node -full run at several
 // gigabytes, and shrinking the encoding is what turns the Θ(√(n log n))
@@ -21,6 +21,11 @@
 // list in Width(deg(v)+1) bits — value deg(v) encodes graph.None. Ports
 // round-trip exactly, so compact tree reads are byte-identical to exact
 // ones.
+//
+// Beside the blobs the store keeps one float32 per window: its quantized
+// radius, exactly the Radius() a decode would report. The recovery
+// pipeline's per-candidate radius probes read it directly, so the hot
+// classification loop never decodes a window.
 package snapshot
 
 import (
@@ -40,7 +45,43 @@ import (
 // tracks the encoded size, not the 16-byte-per-entry exact table.
 const vicinityShard = 8192
 
-// encScratch is one worker's private state for the compact vicinity sweep.
+// compactStore is the compact regime's shard store. pg is the graph whose
+// sorted adjacency lists the forest ports index — the graph the rows were
+// encoded over, which on a folded chain is that fold's graph. sp is
+// non-nil when vicBlob and forest live in a spill mapping instead of the
+// heap.
+type compactStore struct {
+	n, k     int
+	pg       *graph.Graph
+	idWidth  int // bits of the first (absolute) member ID: Width(n)
+	pWidth   int // bits of one parent window index: Width(k+1)
+	vicBlob  []byte
+	vicOff   []int64
+	vicLen   []int32   // per-node window member count; nil = every window has k
+	radii    []float32 // per-node quantized window radius
+	forest   []byte
+	degOff   []int64
+	rowBytes int
+	sp       *spillFile
+}
+
+func (cs *compactStore) windowLen(v graph.NodeID) int {
+	if cs.vicLen != nil {
+		return int(cs.vicLen[v])
+	}
+	return cs.k
+}
+
+func (cs *compactStore) windowRadius(v graph.NodeID) float64 { return float64(cs.radii[v]) }
+
+func (cs *compactStore) windowSet(v graph.NodeID) *vicinity.Set {
+	set := vicinity.MakeSet(v, cs.decodeWindow(v))
+	return &set
+}
+
+func (cs *compactStore) spillFile() *spillFile { return cs.sp }
+
+// encScratch is one worker's private state for the compact encode sweeps.
 type encScratch struct {
 	sp  *graph.SSSP
 	win []vicinity.Entry
@@ -60,13 +101,14 @@ func fillWindow(win []vicinity.Entry, sp *graph.SSSP, order []graph.NodeID) {
 // buildCompactVicinities runs the same per-node truncated Dijkstra sweep as
 // the exact build, but encodes each window straight into a bit-packed
 // buffer, shard by shard.
-func (s *Snapshot) buildCompactVicinities() error {
+func (s *Snapshot) buildCompactVicinities(cs *compactStore) error {
 	n, k := s.g.N(), s.k
-	s.idWidth = bits.Width(n)
-	s.pWidth = bits.Width(k + 1)
-	s.vicOff = make([]int64, n+1)
+	cs.idWidth = bits.Width(n)
+	cs.pWidth = bits.Width(k + 1)
+	cs.vicOff = make([]int64, n+1)
+	cs.radii = make([]float32, n)
 	settled := make([]int32, n)
-	radii := make([]float64, n)
+	bounds := make([]float64, n)
 	var blob []byte
 	bufs := make([][]byte, min(vicinityShard, n))
 	for base := 0; base < n; base += vicinityShard {
@@ -88,20 +130,21 @@ func (s *Snapshot) buildCompactVicinities() error {
 					return
 				}
 				fillWindow(sc.win, sc.sp, order)
-				radii[base+i] = windowBound(sc.win)
+				bounds[base+i] = windowBound(sc.win)
+				cs.radii[base+i] = quantizedRadius(sc.win)
 				sc.w.Reset()
-				encodeWindow(&sc.w, s.idWidth, s.pWidth, sc.win)
+				encodeWindow(&sc.w, cs.idWidth, cs.pWidth, sc.win)
 				bufs[i] = append([]byte(nil), sc.w.Bytes()...)
 			})
 		for i := 0; i < m; i++ {
-			s.vicOff[base+i] = int64(len(blob))
+			cs.vicOff[base+i] = int64(len(blob))
 			blob = append(blob, bufs[i]...)
 			bufs[i] = nil
 		}
 	}
-	s.vicOff[n] = int64(len(blob))
-	s.vicBlob = blob
-	for _, r := range radii {
+	cs.vicOff[n] = int64(len(blob))
+	cs.vicBlob = blob
+	for _, r := range bounds {
 		if r > s.maxRadius {
 			s.maxRadius = r
 		}
@@ -124,6 +167,19 @@ func windowBound(win []vicinity.Entry) float64 {
 		}
 	}
 	return b
+}
+
+// quantizedRadius returns the radius a decode of this window will report:
+// the maximum of the float32-quantized distances. Stored per window so
+// radius probes skip the decode.
+func quantizedRadius(win []vicinity.Entry) float32 {
+	var r float32
+	for _, e := range win {
+		if q := float32(e.Dist); q > r {
+			r = q
+		}
+	}
+	return r
 }
 
 // encodeWindow appends one window in the wire format above. The window must
@@ -155,25 +211,40 @@ func encodeWindow(w *bits.Writer, idWidth, pWidth int, win []vicinity.Entry) {
 	}
 }
 
+// encodedWindowBytes returns the byte length encodeWindow would produce
+// for win without writing a bit — the analytic size pass of the two-pass
+// compact fold, so every shard's destination slice is known before any
+// shard encodes.
+func encodedWindowBytes(idWidth, pWidth int, win []vicinity.Entry) int64 {
+	if len(win) == 0 {
+		return 0
+	}
+	nbits := idWidth + len(win)*(pWidth+32)
+	for i := 1; i < len(win); i++ {
+		nbits += bits.GammaLen(uint64(win[i].Node - win[i-1].Node))
+	}
+	return int64((nbits + 7) / 8)
+}
+
 // decodeWindow materializes node v's vicinity window from the shared blob.
-// The window holds winLen(v) entries: k on from-scratch builds, possibly
+// The window holds windowLen(v) entries: k on from-scratch builds, possibly
 // fewer on a folded repair chain whose failures disconnected v's region.
-func (s *Snapshot) decodeWindow(v graph.NodeID) []vicinity.Entry {
-	ln := s.winLen(v)
+func (cs *compactStore) decodeWindow(v graph.NodeID) []vicinity.Entry {
+	ln := cs.windowLen(v)
 	if ln == 0 {
 		return nil
 	}
-	a, b := s.vicOff[v], s.vicOff[v+1]
-	r := bits.NewReader(s.vicBlob[a:b], int(b-a)*8)
+	a, b := cs.vicOff[v], cs.vicOff[v+1]
+	r := bits.NewReader(cs.vicBlob[a:b], int(b-a)*8)
 	entries := make([]vicinity.Entry, ln)
-	id := graph.NodeID(r.ReadBits(s.idWidth))
+	id := graph.NodeID(r.ReadBits(cs.idWidth))
 	entries[0].Node = id
 	for i := 1; i < ln; i++ {
 		id += graph.NodeID(r.ReadGamma())
 		entries[i].Node = id
 	}
 	for i := 0; i < ln; i++ {
-		idx := int(r.ReadBits(s.pWidth))
+		idx := int(r.ReadBits(cs.pWidth))
 		if idx == ln {
 			entries[i].Parent = graph.None
 		} else {
@@ -186,19 +257,19 @@ func (s *Snapshot) decodeWindow(v graph.NodeID) []vicinity.Entry {
 	return entries
 }
 
-// compactContains answers w ∈ V(v) straight off the encoded ID stream:
+// windowContains answers w ∈ V(v) straight off the encoded ID stream:
 // member IDs are ascending, so the scan stops at the first ID >= w and
 // never touches the parent/distance sections or materializes the window.
 // This keeps the per-hop membership probes of the forwarding loops cheap
 // in the compact regime.
-func (s *Snapshot) compactContains(v, w graph.NodeID) bool {
-	ln := s.winLen(v)
+func (cs *compactStore) windowContains(v, w graph.NodeID) bool {
+	ln := cs.windowLen(v)
 	if ln == 0 {
 		return false
 	}
-	a, b := s.vicOff[v], s.vicOff[v+1]
-	r := bits.NewReader(s.vicBlob[a:b], int(b-a)*8)
-	id := graph.NodeID(r.ReadBits(s.idWidth))
+	a, b := cs.vicOff[v], cs.vicOff[v+1]
+	r := bits.NewReader(cs.vicBlob[a:b], int(b-a)*8)
+	id := graph.NodeID(r.ReadBits(cs.idWidth))
 	for i := 1; ; i++ {
 		if id >= w {
 			return id == w
@@ -213,17 +284,17 @@ func (s *Snapshot) compactContains(v, w graph.NodeID) bool {
 // buildCompactForest writes one bit-packed port-index parent row per
 // landmark. Rows are byte-aligned so parallel row writers touch disjoint
 // bytes.
-func (s *Snapshot) buildCompactForest() error {
+func (s *Snapshot) buildCompactForest(cs *compactStore) error {
 	n := s.g.N()
-	s.degOff = make([]int64, n+1)
+	cs.degOff = make([]int64, n+1)
 	var pos int64
 	for v := 0; v < n; v++ {
-		s.degOff[v] = pos
+		cs.degOff[v] = pos
 		pos += int64(bits.Width(s.g.Degree(graph.NodeID(v)) + 1))
 	}
-	s.degOff[n] = pos
-	s.rowBytes = int((pos + 7) / 8)
-	s.forest = make([]byte, len(s.landmarks)*s.rowBytes)
+	cs.degOff[n] = pos
+	cs.rowBytes = int((pos + 7) / 8)
+	cs.forest = make([]byte, len(s.landmarks)*cs.rowBytes)
 	settled := make([]int32, len(s.landmarks))
 	graph.ForEachSource(s.g, s.landmarks, func(sp *graph.SSSP, row int, lm graph.NodeID) {
 		sp.Run(lm)
@@ -235,26 +306,150 @@ func (s *Snapshot) buildCompactForest() error {
 			if p := sp.Parent(graph.NodeID(v)); p != graph.None {
 				port = s.g.PortOf(graph.NodeID(v), p)
 			}
-			w.WriteBits(uint64(port), int(s.degOff[v+1]-s.degOff[v]))
+			w.WriteBits(uint64(port), int(cs.degOff[v+1]-cs.degOff[v]))
 		}
-		copy(s.forest[row*s.rowBytes:(row+1)*s.rowBytes], w.Bytes())
+		copy(cs.forest[row*cs.rowBytes:(row+1)*cs.rowBytes], w.Bytes())
 	})
 	return forestShortfall(settled, s.landmarks, n)
 }
 
-// compactParent decodes one parent field of forest row `row`: the port of
-// v's tree predecessor within v's adjacency list, or deg(v) for None. The
-// ports index the adjacency of the graph the row was encoded over
-// (portGraph), which on a repaired snapshot is the parent's graph — the
-// resolved edge is nonetheless alive, because a shared row's tree crosses
-// no failed link.
-func (s *Snapshot) compactParent(row int, v graph.NodeID) graph.NodeID {
-	pg := s.portGraph()
-	width := int(s.degOff[v+1] - s.degOff[v])
-	prow := s.forest[row*s.rowBytes : (row+1)*s.rowBytes]
-	port := bits.At(prow, int(s.degOff[v]), width)
-	if port == uint64(pg.Degree(v)) {
+// rowParent decodes one parent field of forest row `row`: the port of v's
+// tree predecessor within v's adjacency list, or deg(v) for None. The
+// ports index the adjacency of the graph the row was encoded over (pg);
+// on a chained snapshot that graph can predate failures, but the resolved
+// edge is nonetheless alive — a shared row's tree crosses no failed link.
+func (cs *compactStore) rowParent(row int, v graph.NodeID) graph.NodeID {
+	width := int(cs.degOff[v+1] - cs.degOff[v])
+	prow := cs.forest[row*cs.rowBytes : (row+1)*cs.rowBytes]
+	port := bits.At(prow, int(cs.degOff[v]), width)
+	if port == uint64(cs.pg.Degree(v)) {
 		return graph.None
 	}
-	return pg.NeighborAt(v, int(port)).To
+	return cs.pg.NeighborAt(v, int(port)).To
+}
+
+// rowFlat: compact rows are never stored flat.
+func (cs *compactStore) rowFlat(row int) []graph.NodeID { return nil }
+
+// decodeRow materializes forest row `row` as a flat parent array in one
+// sequential pass over the bit stream — what table compiles and folds
+// read, instead of n random At probes.
+func (cs *compactStore) decodeRow(row int) []graph.NodeID {
+	prow := make([]graph.NodeID, cs.n)
+	r := bits.NewReader(cs.forest[row*cs.rowBytes:(row+1)*cs.rowBytes], cs.rowBytes*8)
+	for v := 0; v < cs.n; v++ {
+		port := r.ReadBits(int(cs.degOff[v+1] - cs.degOff[v]))
+		if port == uint64(cs.pg.Degree(graph.NodeID(v))) {
+			prow[v] = graph.None
+		} else {
+			prow[v] = cs.pg.NeighborAt(graph.NodeID(v), int(port)).To
+		}
+	}
+	return prow
+}
+
+func (cs *compactStore) storeBytes() int64 {
+	return int64(len(cs.vicBlob)) +
+		int64(len(cs.vicOff))*off64Bytes +
+		int64(len(cs.vicLen))*int32Bytes +
+		int64(len(cs.radii))*f32Bytes +
+		int64(len(cs.forest)) +
+		int64(len(cs.degOff))*off64Bytes
+}
+
+// foldCompactInto re-encodes the chain's logical state in the compact wire
+// format as a fresh compactStore, in two passes so shards encode
+// independently over the worker pool: pass 1 computes every window's
+// encoded size — analytically for overlaid windows, and by carrying the
+// old byte range for untouched ones, which re-encode byte-identically
+// because the widths never change across folds — pass 2 writes each
+// window into its disjoint blob slice, raw-copying the untouched ranges
+// (valid even when the old blob is a read-only mmap). Forest rows always
+// re-encode: their port indices rebuild against the current graph. When a
+// spill directory is configured the fresh store is written out and served
+// via mmap, and the heap copy dropped.
+func (s *Snapshot) foldCompactInto(f *Snapshot) {
+	old := s.store.(*compactStore)
+	n := s.g.N()
+	cs := &compactStore{
+		n: n, k: s.k, pg: s.g,
+		idWidth: old.idWidth, pWidth: old.pWidth,
+		vicLen: make([]int32, n),
+		radii:  make([]float32, n),
+	}
+	vicOff := make([]int64, n+1)
+	sizes := parallel.Map(n, func(v int) int64 {
+		if set, ok := s.ov.findVic(graph.NodeID(v)); ok {
+			cs.vicLen[v] = int32(set.Size())
+			cs.radii[v] = float32(set.Radius())
+			return encodedWindowBytes(cs.idWidth, cs.pWidth, set.Entries)
+		}
+		cs.vicLen[v] = int32(old.windowLen(graph.NodeID(v)))
+		cs.radii[v] = old.radii[v]
+		return old.vicOff[v+1] - old.vicOff[v]
+	})
+	for v := 0; v < n; v++ {
+		vicOff[v+1] = vicOff[v] + sizes[v]
+	}
+	cs.vicOff = vicOff
+	cs.vicBlob = make([]byte, vicOff[n])
+	parallel.RunScratch(n,
+		func() *encScratch { return &encScratch{} },
+		func(sc *encScratch, v int) {
+			dst := cs.vicBlob[vicOff[v]:vicOff[v+1]]
+			if set, ok := s.ov.findVic(graph.NodeID(v)); ok {
+				sc.w.Reset()
+				encodeWindow(&sc.w, cs.idWidth, cs.pWidth, set.Entries)
+				copy(dst, sc.w.Bytes())
+				return
+			}
+			copy(dst, old.vicBlob[old.vicOff[v]:old.vicOff[v+1]])
+		})
+	uniform := true
+	for _, ln := range cs.vicLen {
+		if int(ln) != s.k {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		cs.vicLen = nil
+	}
+
+	cs.degOff = make([]int64, n+1)
+	var pos int64
+	for v := 0; v < n; v++ {
+		cs.degOff[v] = pos
+		pos += int64(bits.Width(s.g.Degree(graph.NodeID(v)) + 1))
+	}
+	cs.degOff[n] = pos
+	cs.rowBytes = int((pos + 7) / 8)
+	cs.forest = make([]byte, len(s.landmarks)*cs.rowBytes)
+	parallel.RunScratch(len(s.landmarks),
+		func() *encScratch { return &encScratch{} },
+		func(sc *encScratch, row int) {
+			prow, ok := s.ov.findRow(row)
+			if !ok {
+				prow = old.decodeRow(row)
+			}
+			sc.w.Reset()
+			for v := 0; v < n; v++ {
+				deg := s.g.Degree(graph.NodeID(v))
+				port := deg // graph.None sentinel
+				if p := prow[v]; p != graph.None {
+					port = s.g.PortOf(graph.NodeID(v), p)
+				}
+				sc.w.WriteBits(uint64(port), int(cs.degOff[v+1]-cs.degOff[v]))
+			}
+			copy(cs.forest[row*cs.rowBytes:(row+1)*cs.rowBytes], sc.w.Bytes())
+		})
+
+	if dir := SpillDir(); dir != "" {
+		// A failed fold-time spill (disk full, bad dir) falls back to the
+		// heap: the fold's correctness never depends on the file.
+		if err := cs.spillTo(dir); err == nil && cs.sp != nil {
+			f.sref = newStoreRef(cs.sp)
+		}
+	}
+	f.store = cs
 }

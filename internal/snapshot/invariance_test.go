@@ -1,0 +1,72 @@
+package snapshot
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"disco/internal/parallel"
+	"disco/internal/vicinity"
+)
+
+// TestRepairWorkerInvariance is the determinism half of the shard-parallel
+// repair contract: the same interleaved fail/recover sequence must produce
+// CanonicalBytes-identical snapshots at every step regardless of worker
+// count — every fan-out in the pipeline (ball searches, window recomputes,
+// row classification, fold encoders) merges in task order, so workers only
+// change wall-clock, never bytes. Runs both storage regimes across enough
+// steps to cross at least one chain fold.
+func TestRepairWorkerInvariance(t *testing.T) {
+	workerCounts := []int{1, 4, 16}
+	for _, compact := range []bool{false, true} {
+		name := "exact"
+		if compact {
+			name = "compact"
+		}
+		t.Run(name, func(t *testing.T) {
+			env := buildEnv(t, 256, 23)
+			k := vicinity.DefaultK(env.N())
+			t.Cleanup(func() { parallel.SetWorkers(0) })
+
+			const steps = 30
+			// canon[w][step] is the post-step CanonicalBytes under worker
+			// count workerCounts[w]; the whole drive (including the base
+			// build) runs under that count.
+			canon := make([][][]byte, len(workerCounts))
+			folds := make([]int, len(workerCounts))
+			for w, workers := range workerCounts {
+				parallel.SetWorkers(workers)
+				base := mustBuild(t, env, k, compact)
+				d := newChainDriver(base)
+				rng := rand.New(rand.NewSource(97))
+				canon[w] = make([][]byte, steps)
+				for step := 0; step < steps; step++ {
+					if step%3 == 2 && len(d.down) > 0 {
+						d.recoverOne(t, rng)
+					} else {
+						d.failOne(t, rng, true)
+					}
+					canon[w][step] = d.cur.CanonicalBytes()
+					if d.cur.RepairStats().Folded {
+						folds[w]++
+					}
+				}
+			}
+			for w := 1; w < len(workerCounts); w++ {
+				if folds[w] != folds[0] {
+					t.Errorf("workers=%d folded %d times, workers=%d folded %d times",
+						workerCounts[w], folds[w], workerCounts[0], folds[0])
+				}
+				for step := 0; step < steps; step++ {
+					if !bytes.Equal(canon[w][step], canon[0][step]) {
+						t.Fatalf("step %d: CanonicalBytes differ between workers=%d and workers=%d",
+							step, workerCounts[w], workerCounts[0])
+					}
+				}
+			}
+			if folds[0] == 0 {
+				t.Error("sequence never folded; lengthen it so invariance covers the fold path")
+			}
+		})
+	}
+}

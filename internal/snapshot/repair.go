@@ -30,17 +30,26 @@
 //     most the tie node's parent, which is patched in place using the
 //     settle-order rule (first-settled candidate wins).
 //
+// The pipeline is shard-parallel end to end over internal/parallel with
+// task-ordered merges — ball searches, window recomputes, per-row
+// classification, diff accounting, and both fold encoders all fan out, and
+// every merge happens in task index order — so the result is bit-identical
+// at any worker count.
+//
 // Chains compose: a repaired snapshot can be repaired or recovered again.
 // Two mechanisms keep a long repair-of-repair chain from leaking history:
 //
-//   - Rebase: a repaired snapshot holds the chain base's storage arrays
-//     plus ONE merged overlay — never a pointer to the previous link — so
-//     dropping intermediate snapshots really frees them.
-//   - Compaction: when the merged overlay exceeds foldOverlayFraction of
-//     the snapshot's shards, the chain is folded into fresh base-format
-//     storage (both regimes), an O(state) re-encode with no Dijkstra.
-//     CanonicalBytes is invariant under folding, so chained equivalence
-//     with a from-scratch build holds at every step.
+//   - Incremental overlays: a chained snapshot holds the chain base's
+//     shard store plus a linked overlay chain (store.go) whose newest link
+//     is this event's blast radius — never a full copy of the accumulated
+//     overlay, and never a pointer to the previous snapshot — so chaining
+//     an event costs O(blast radius) and dropping intermediate snapshots
+//     really frees their uniquely-held links.
+//   - Compaction: when the overlay's distinct-shard count exceeds
+//     foldOverlayFraction of the snapshot's shards, the chain is folded
+//     into a fresh base-format store (both regimes), an O(state) re-encode
+//     with no Dijkstra. CanonicalBytes is invariant under folding, so
+//     chained equivalence with a from-scratch build holds at every step.
 //
 // Unlike Build/BuildCompact, ApplyFailures does NOT require the failed
 // topology to stay connected — that is the point of failure scenarios.
@@ -55,16 +64,16 @@ import (
 	"math"
 	"sort"
 
-	"disco/internal/bits"
 	"disco/internal/graph"
 	"disco/internal/parallel"
 	"disco/internal/vicinity"
 )
 
 // foldOverlayFraction is the compaction threshold: once a chained repair's
-// merged overlay exceeds this fraction of the snapshot's shards, the chain
-// is folded into fresh base storage. One-shot repairs of a built snapshot
-// never fold (their overlay dies with them); only chains pay the fold.
+// overlay holds distinct shards exceeding this fraction of the snapshot's
+// shard count, the chain is folded into fresh base storage. One-shot
+// repairs of a built snapshot never fold (their overlay dies with them);
+// only chains pay the fold.
 const foldOverlayFraction = 0.25
 
 // RepairStats reports what one ApplyFailures/ApplyRecoveries call
@@ -116,42 +125,30 @@ func (st *RepairStats) ShardsRebuilt() float64 {
 	return float64(st.VicRebuilt+st.RowsRebuilt) / float64(total)
 }
 
-// repairState is the copy-on-write overlay of a repaired snapshot: the
-// recomputed shards, keyed so reads check here first and fall through to
-// the chain base's shared storage. Read-only after the repair returns,
-// like everything else reachable from a Snapshot. It deliberately holds no
-// pointer to the previous chain link, so intermediates are collectable.
-type repairState struct {
-	portG *graph.Graph // graph whose adjacency the shared compact rows index
-	vic   map[graph.NodeID]*vicinity.Set
-	rows  map[int][]graph.NodeID
-	stats RepairStats
-}
-
 // Repaired reports whether this snapshot was produced by ApplyFailures or
 // ApplyRecoveries (possibly folded).
-func (s *Snapshot) Repaired() bool { return s.rep != nil }
+func (s *Snapshot) Repaired() bool { return s.repaired }
 
 // RepairStats returns the statistics of the repair that produced this
 // snapshot, or nil for snapshots built from scratch.
 func (s *Snapshot) RepairStats() *RepairStats {
-	if s.rep == nil {
+	if !s.repaired {
 		return nil
 	}
-	return &s.rep.stats
+	return &s.stats
 }
 
-// OverlayShards returns the number of shards (vicinity windows plus forest
-// rows) held privately by this snapshot's repair overlay — the working-set
-// cost of the chain beyond its shared base. 0 for snapshots built from
-// scratch and for freshly folded chains. The compaction contract bounds it
-// below foldOverlayFraction of the shard count plus one event's blast
-// radius, which the long-chain test asserts.
+// OverlayShards returns the number of distinct shards (vicinity windows
+// plus forest rows) held by this snapshot's repair overlay chain — the
+// working-set cost of the chain beyond its shared base. 0 for snapshots
+// built from scratch and for freshly folded chains. The compaction
+// contract bounds it below foldOverlayFraction of the shard count plus one
+// event's blast radius, which the long-chain test asserts.
 func (s *Snapshot) OverlayShards() int {
-	if s.rep == nil {
+	if s.ov == nil {
 		return 0
 	}
-	return len(s.rep.vic) + len(s.rep.rows)
+	return s.ov.shards
 }
 
 // Shortfalls returns, ascending, the nodes whose vicinity windows hold
@@ -195,13 +192,20 @@ func (s *Snapshot) ApplyFailures(fails []graph.EdgeKey) (*Snapshot, error) {
 	affVic, scanned := s.affectedVicinities(uniq)
 	wins := recomputeWindows(fg, affVic, s.k, s.compact)
 
-	var affRows []int
-	for row := range s.landmarks {
+	// Row classification: a row is affected iff some failed link is one of
+	// its tree edges. Task-ordered merge keeps affRows ascending.
+	rowHit := parallel.Map(len(s.landmarks), func(row int) bool {
 		for _, f := range uniq {
 			if s.parentAt(row, f.U) == f.V || s.parentAt(row, f.V) == f.U {
-				affRows = append(affRows, row)
-				break
+				return true
 			}
+		}
+		return false
+	})
+	var affRows []int
+	for row, hit := range rowHit {
+		if hit {
+			affRows = append(affRows, row)
 		}
 	}
 	affLms := make([]graph.NodeID, len(affRows))
@@ -345,12 +349,13 @@ func recomputeWindows(g *graph.Graph, affVic []graph.NodeID, k int, compact bool
 		})
 }
 
-// finishRepair assembles the repaired snapshot: base storage shared by
-// value copy, the previous overlay merged with this event's recomputed
-// shards (rebase — no pointer to the previous chain link survives),
-// maxRadius and the shortfall list updated, and the chain folded into
-// fresh base storage when the merged overlay crosses the compaction
-// threshold.
+// finishRepair assembles the repaired snapshot: the base shard store
+// shared by reference, this event's recomputed shards pushed as a new
+// overlay link onto the (shared, untouched) previous chain, maxRadius and
+// the shortfall list updated, and the chain folded into a fresh store
+// when the overlay's distinct-shard count crosses the compaction
+// threshold. Per-event cost is O(blast radius), amortized, regardless of
+// how much overlay the chain has accumulated.
 func (s *Snapshot) finishRepair(ng *graph.Graph, affVic []graph.NodeID, wins []repairedWindow, newRows map[int][]graph.NodeID, stats RepairStats) *Snapshot {
 	// Changed-state accounting against the pre-event snapshot, fanned out
 	// over the worker pool (order-independent integer sums).
@@ -385,35 +390,25 @@ func (s *Snapshot) finishRepair(ng *graph.Graph, affVic []graph.NodeID, wins []r
 	stats.VicTouched = affVic
 	stats.RowsTouched = changedRowKeys
 
-	c := &Snapshot{}
-	*c = *s // share all base storage by slice header / pointer
-	c.g = ng
-	rep := &repairState{
-		portG: s.portGraph(),
-		vic:   make(map[graph.NodeID]*vicinity.Set, len(affVic)),
-		rows:  make(map[int][]graph.NodeID, len(newRows)),
-		stats: stats,
+	c := &Snapshot{
+		g: ng, k: s.k, compact: s.compact,
+		store:     s.store,
+		landmarks: s.landmarks, lmRow: s.lmRow,
+		maxRadius: s.maxRadius,
+		repaired:  true, stats: stats,
+		short: s.short,
 	}
-	// A chained repair extends the previous overlay: older patches stay
-	// valid unless recomputed again below.
-	if s.rep != nil {
-		for v, set := range s.rep.vic {
-			rep.vic[v] = set
-		}
-		for row, prow := range s.rep.rows {
-			rep.rows[row] = prow
-		}
+	if s.sref != nil {
+		c.sref = newStoreRef(s.sref.f)
 	}
+	vic := make(map[graph.NodeID]*vicinity.Set, len(affVic))
 	for i, v := range affVic {
-		rep.vic[v] = wins[i].set
+		vic[v] = wins[i].set
 		if wins[i].bound > c.maxRadius {
 			c.maxRadius = wins[i].bound
 		}
 	}
-	for row, prow := range newRows {
-		rep.rows[row] = prow
-	}
-	c.rep = rep
+	c.ov = pushOverlay(s.ov, vic, newRows)
 
 	// Shortfall bookkeeping: a recomputed window leaves or (re)enters the
 	// list according to its new size.
@@ -438,10 +433,14 @@ func (s *Snapshot) finishRepair(ng *graph.Graph, affVic []graph.NodeID, wins []r
 
 	// Compaction: only chains fold (s already repaired). A one-shot repair
 	// of a built snapshot keeps its overlay — it dies with the snapshot.
-	if s.rep != nil {
+	if s.repaired {
 		total := ng.N() + len(s.landmarks)
-		if float64(len(rep.vic)+len(rep.rows)) > foldOverlayFraction*float64(total) {
-			return c.fold()
+		if float64(c.ov.shards) > foldOverlayFraction*float64(total) {
+			f := c.fold()
+			// c never escapes: drop its spill reference now instead of
+			// waiting for the GC safety net.
+			c.ReleaseStorage()
+			return f
 		}
 	}
 	return c
@@ -452,7 +451,9 @@ func (s *Snapshot) finishRepair(ng *graph.Graph, affVic []graph.NodeID, wins []r
 // candidate nodes the ball search scanned. A window qualifies iff some
 // failed link has both endpoints inside it; candidates are enumerated by a
 // bounded Dijkstra ball around each distinct lower endpoint (a superset,
-// since u ∈ V(x) forces d(x,u) <= maxRadius), then probed exactly.
+// since u ∈ V(x) forces d(x,u) <= maxRadius), then probed exactly —
+// probes run inside the per-ball tasks, and the merge is task-ordered plus
+// a final sort, so the result is worker-count invariant.
 func (s *Snapshot) affectedVicinities(uniq []graph.EdgeKey) ([]graph.NodeID, int) {
 	byU := make(map[graph.NodeID][]graph.NodeID)
 	var us []graph.NodeID
@@ -513,9 +514,13 @@ func (s *Snapshot) affectedVicinities(uniq []graph.EdgeKey) ([]graph.NodeID, int
 // a maxRadius Dijkstra ball around each endpoint encloses all candidates,
 // and the per-window radius probe prunes the enclosure down to windows the
 // link can actually reach (the probe that keeps a recovery's recompute set
-// blast-radius-sized instead of ball-sized). Shortfall windows instead
-// qualify whenever any restored endpoint sits in their component:
-// reconnection admits new members at any distance.
+// blast-radius-sized instead of ball-sized). Both the ball searches and
+// the per-link probe sweeps fan out over the worker pool; the probes read
+// per-window size and radius off the store (windowMeta) without decoding,
+// and the merge dedups in task order then sorts, so the result is
+// worker-count invariant. Shortfall windows instead qualify whenever any
+// restored endpoint sits in their component: reconnection admits new
+// members at any distance.
 func (s *Snapshot) recoveryVicinities(uniq []graph.WeightedLink, ng *graph.Graph) ([]graph.NodeID, int) {
 	epSet := make(map[graph.NodeID]bool, 2*len(uniq))
 	var eps []graph.NodeID
@@ -545,6 +550,32 @@ func (s *Snapshot) recoveryVicinities(uniq []graph.WeightedLink, ng *graph.Graph
 		ballOf[eps[i]] = b
 		scanned += len(b)
 	}
+	k := s.k
+	cands := parallel.Map(len(uniq), func(i int) []graph.NodeID {
+		r := uniq[i]
+		bu, bv := ballOf[r.U], ballOf[r.V]
+		if len(bv) < len(bu) {
+			bu, bv = bv, bu
+		}
+		var out []graph.NodeID
+		for x, du := range bu {
+			dv, ok := bv[x]
+			if !ok {
+				continue
+			}
+			size, rad := s.windowMeta(x)
+			if size < k {
+				continue // shortfall windows: component rule below
+			}
+			if s.compact {
+				rad = float64(math.Nextafter32(float32(rad), float32(math.Inf(1))))
+			}
+			if du <= rad && dv <= rad {
+				out = append(out, x)
+			}
+		}
+		return out
+	})
 	seen := make(map[graph.NodeID]bool)
 	var aff []graph.NodeID
 	add := func(x graph.NodeID) {
@@ -553,28 +584,9 @@ func (s *Snapshot) recoveryVicinities(uniq []graph.WeightedLink, ng *graph.Graph
 			aff = append(aff, x)
 		}
 	}
-	k := s.k
-	for _, r := range uniq {
-		bu, bv := ballOf[r.U], ballOf[r.V]
-		if len(bv) < len(bu) {
-			bu, bv = bv, bu
-		}
-		for x, du := range bu {
-			dv, ok := bv[x]
-			if !ok || seen[x] {
-				continue
-			}
-			set := s.Vicinity(x)
-			if set.Size() < k {
-				continue // shortfall windows: component rule below
-			}
-			rad := set.Radius()
-			if s.compact {
-				rad = float64(math.Nextafter32(float32(rad), float32(math.Inf(1))))
-			}
-			if du <= rad && dv <= rad {
-				add(x)
-			}
+	for _, c := range cands {
+		for _, x := range c {
+			add(x)
 		}
 	}
 	if len(s.short) > 0 {
@@ -624,51 +636,63 @@ func (s *Snapshot) rowDist(row int, v graph.NodeID) float64 {
 	return d
 }
 
+// rowPatch is one tie-patch candidate: v's parent may change to p, whose
+// Dijkstra distance from the row's landmark is d.
+type rowPatch struct {
+	v graph.NodeID
+	p graph.NodeID
+	d float64
+}
+
+// rowClass is one forest row's classification against a recovery's
+// restored links: full recompute, tie patches, or untouched.
+type rowClass struct {
+	isFull  bool
+	patches []rowPatch
+}
+
 // recoveryRows computes the forest-row updates for a recovery: rows the
 // restored links reconnect or strictly shorten are fully recomputed on ng;
 // rows where a restored link only ties an existing distance get the tie
 // node's parent patched to the first-settled candidate (the deterministic
-// Dijkstra's choice) without any recomputation. Returns the new rows plus
-// the full-recompute and patched-row counts.
+// Dijkstra's choice) without any recomputation. Per-row classification
+// fans out over the worker pool (each row's verdict is independent) and
+// merges in row order. Returns the new rows plus the full-recompute and
+// patched-row counts.
 func (s *Snapshot) recoveryRows(uniq []graph.WeightedLink, ng *graph.Graph) (rows map[int][]graph.NodeID, full, patched int) {
 	n := s.g.N()
-	type patch struct {
-		v graph.NodeID // node whose parent may change
-		p graph.NodeID // candidate new parent (a restored-link endpoint)
-		d float64      // candidate's Dijkstra distance from the landmark
-	}
-	var fullRows []int
-	patchesByRow := make(map[int][]patch)
-	for row := range s.landmarks {
+	classes := parallel.Map(len(s.landmarks), func(row int) rowClass {
 		lm := s.landmarks[row]
-		isFull := false
-		var patches []patch
+		var cl rowClass
 		for _, r := range uniq {
 			u, v, w := r.U, r.V, r.W
 			ru := u == lm || s.parentAt(row, u) != graph.None
 			rv := v == lm || s.parentAt(row, v) != graph.None
 			if ru != rv {
-				isFull = true // the link reconnects part of the tree
-				break
+				return rowClass{isFull: true} // the link reconnects part of the tree
 			}
 			if !ru {
 				continue // both endpoints cut off: the link can't reach lm
 			}
 			du, dv := s.rowDist(row, u), s.rowDist(row, v)
 			if du+w < dv || dv+w < du {
-				isFull = true // strict improvement: distances shift
-				break
+				return rowClass{isFull: true} // strict improvement: distances shift
 			}
 			if du+w == dv && v != lm && settlesBefore(du, u, dv, v) {
-				patches = append(patches, patch{v: v, p: u, d: du})
+				cl.patches = append(cl.patches, rowPatch{v: v, p: u, d: du})
 			} else if dv+w == du && u != lm && settlesBefore(dv, v, du, u) {
-				patches = append(patches, patch{v: u, p: v, d: dv})
+				cl.patches = append(cl.patches, rowPatch{v: u, p: v, d: dv})
 			}
 		}
-		if isFull {
+		return cl
+	})
+	var fullRows []int
+	patchesByRow := make(map[int][]rowPatch)
+	for row, cl := range classes {
+		if cl.isFull {
 			fullRows = append(fullRows, row)
-		} else if len(patches) > 0 {
-			patchesByRow[row] = patches
+		} else if len(cl.patches) > 0 {
+			patchesByRow[row] = cl.patches
 		}
 	}
 
@@ -693,7 +717,7 @@ func (s *Snapshot) recoveryRows(uniq []graph.WeightedLink, ng *graph.Graph) (row
 	for row, ps := range patchesByRow {
 		// Fold multiple candidates per node to the earliest-settling one,
 		// then let it contest the row's current parent.
-		best := make(map[graph.NodeID]patch, len(ps))
+		best := make(map[graph.NodeID]rowPatch, len(ps))
 		for _, pc := range ps {
 			cur, ok := best[pc.v]
 			if !ok || settlesBefore(pc.d, pc.p, cur.d, cur.p) {
@@ -722,26 +746,26 @@ func (s *Snapshot) recoveryRows(uniq []graph.WeightedLink, ng *graph.Graph) (row
 	return rows, len(fullRows), patched
 }
 
-// fold materializes the chain's logical route state into fresh base-format
-// storage in the snapshot's own regime — an O(state) re-encode with no
-// shortest-path work — and drops the overlay. The folded snapshot reads
-// and serializes identically (CanonicalBytes is computed from logical
-// state), keeps the repair stats of the step that triggered the fold, and
-// its compact forest rows re-index the current graph's adjacency.
+// fold materializes the chain's logical route state into a fresh
+// base-format shard store in the snapshot's own regime — an O(state)
+// re-encode with no shortest-path work — and drops the overlay chain. The
+// folded snapshot reads and serializes identically (CanonicalBytes is
+// computed from logical state), keeps the repair stats of the step that
+// triggered the fold, and its compact forest rows re-index the current
+// graph's adjacency.
 func (s *Snapshot) fold() *Snapshot {
 	f := &Snapshot{
 		g: s.g, k: s.k, compact: s.compact,
 		landmarks: s.landmarks, lmRow: s.lmRow,
 		maxRadius: s.maxRadius, short: s.short,
+		repaired: true, stats: s.stats,
 	}
+	f.stats.Folded = true
 	if s.compact {
 		s.foldCompactInto(f)
 	} else {
 		s.foldExactInto(f)
 	}
-	stats := s.rep.stats
-	stats.Folded = true
-	f.rep = &repairState{portG: f.g, stats: stats}
 	return f
 }
 
@@ -750,9 +774,11 @@ func (s *Snapshot) fold() *Snapshot {
 // reduced size.
 func (s *Snapshot) foldExactInto(f *Snapshot) {
 	n := s.g.N()
+	st := &exactStore{n: n}
 	off := make([]int, n+1)
 	for v := 0; v < n; v++ {
-		off[v+1] = off[v] + s.Vicinity(graph.NodeID(v)).Size()
+		size, _ := s.windowMeta(graph.NodeID(v))
+		off[v+1] = off[v] + size
 	}
 	entries := make([]vicinity.Entry, off[n])
 	sets := make([]vicinity.Set, n)
@@ -765,93 +791,24 @@ func (s *Snapshot) foldExactInto(f *Snapshot) {
 	parents := make([]graph.NodeID, len(s.landmarks)*n)
 	parallel.Run(len(s.landmarks), func(row int) {
 		prow := parents[row*n : (row+1)*n]
-		for v := 0; v < n; v++ {
-			prow[v] = s.parentAt(row, graph.NodeID(v))
+		src, ok := s.ov.findRow(row)
+		if !ok {
+			src = s.store.rowFlat(row)
 		}
+		copy(prow, src)
 	})
-	f.entries, f.off, f.sets, f.parents = entries, off, sets, parents
-}
-
-// foldCompactInto re-encodes the chain's logical state in the compact wire
-// format, shard by shard like BuildCompact, with the forest rows' port
-// indices rebuilt against the current graph. Window lengths are recorded
-// when any window is short.
-func (s *Snapshot) foldCompactInto(f *Snapshot) {
-	n := s.g.N()
-	f.idWidth, f.pWidth = s.idWidth, s.pWidth
-	vicLen := make([]int32, n)
-	vicOff := make([]int64, n+1)
-	var blob []byte
-	bufs := make([][]byte, min(vicinityShard, n))
-	for base := 0; base < n; base += vicinityShard {
-		m := vicinityShard
-		if base+m > n {
-			m = n - base
-		}
-		parallel.RunScratch(m,
-			func() *encScratch { return &encScratch{} },
-			func(sc *encScratch, i int) {
-				src := graph.NodeID(base + i)
-				win := s.Vicinity(src).Entries
-				vicLen[base+i] = int32(len(win))
-				sc.w.Reset()
-				encodeWindow(&sc.w, s.idWidth, s.pWidth, win)
-				bufs[i] = append([]byte(nil), sc.w.Bytes()...)
-			})
-		for i := 0; i < m; i++ {
-			vicOff[base+i] = int64(len(blob))
-			blob = append(blob, bufs[i]...)
-			bufs[i] = nil
-		}
-	}
-	vicOff[n] = int64(len(blob))
-	f.vicBlob, f.vicOff = blob, vicOff
-	uniform := true
-	for _, ln := range vicLen {
-		if int(ln) != s.k {
-			uniform = false
-			break
-		}
-	}
-	if !uniform {
-		f.vicLen = vicLen
-	}
-
-	degOff := make([]int64, n+1)
-	var pos int64
-	for v := 0; v < n; v++ {
-		degOff[v] = pos
-		pos += int64(bits.Width(s.g.Degree(graph.NodeID(v)) + 1))
-	}
-	degOff[n] = pos
-	f.degOff = degOff
-	f.rowBytes = int((pos + 7) / 8)
-	forest := make([]byte, len(s.landmarks)*f.rowBytes)
-	parallel.RunScratch(len(s.landmarks),
-		func() *encScratch { return &encScratch{} },
-		func(sc *encScratch, row int) {
-			sc.w.Reset()
-			for v := 0; v < n; v++ {
-				deg := s.g.Degree(graph.NodeID(v))
-				port := deg // graph.None sentinel
-				if p := s.parentAt(row, graph.NodeID(v)); p != graph.None {
-					port = s.g.PortOf(graph.NodeID(v), p)
-				}
-				sc.w.WriteBits(uint64(port), int(degOff[v+1]-degOff[v]))
-			}
-			copy(forest[row*f.rowBytes:(row+1)*f.rowBytes], sc.w.Bytes())
-		})
-	f.forest = forest
+	st.entries, st.off, st.sets, st.parents = entries, off, sets, parents
+	f.store = st
 }
 
 // CanonicalBytes serializes the snapshot's logical route state — every
 // vicinity window entry and every forest parent, as node IDs and float64
 // distance bits — in a storage-independent canonical form. Two snapshots
 // agree here iff they hold identical route state, regardless of how it is
-// laid out (exact flat arrays, compact bit-packing, a repair overlay, or a
-// folded chain); this is the byte-identity the repair- and chain-
-// equivalence tests assert against a from-scratch build of the current
-// topology.
+// laid out (exact flat arrays, compact bit-packing, spilled or in-heap, a
+// repair overlay chain, or a folded one); this is the byte-identity the
+// repair- and chain-equivalence tests assert against a from-scratch build
+// of the current topology.
 func (s *Snapshot) CanonicalBytes() []byte {
 	n := s.g.N()
 	var buf []byte

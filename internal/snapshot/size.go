@@ -18,35 +18,30 @@ const (
 	int32Bytes = int64(unsafe.Sizeof(int32(0)))
 	offBytes   = int64(unsafe.Sizeof(int(0)))
 	off64Bytes = int64(unsafe.Sizeof(int64(0)))
+	f32Bytes   = int64(unsafe.Sizeof(float32(0)))
 )
 
 // Bytes returns the snapshot's backing-array footprint in bytes — the
 // shared cost that replaces every worker's private caches, in whichever
-// storage regime the snapshot was built, plus the repair overlay a
-// chained snapshot privately owns (recomputed windows as exact entry
-// slices, recomputed forest rows as plain parent arrays). Used by the
-// memory-regression benchmark, the chain-bound test and the -memprofile
-// report.
+// storage regime the snapshot was built, plus every overlay link this
+// chained snapshot reaches (recomputed windows as exact entry slices,
+// recomputed forest rows as plain parent arrays). Links are summed as
+// held, duplicates across links included — this is the retained-heap
+// measure the chain-bound test caps, and the geometric overlay merge is
+// what keeps it within a constant factor of the distinct-shard union.
+// Spilled base storage still counts: the mapping consumes address space
+// and, once touched, page cache; what -spill buys is reclaimability under
+// memory pressure, not a smaller Bytes. Used by the memory-regression
+// benchmark, the chain-bound test and the -memprofile report.
 func (s *Snapshot) Bytes() int64 {
-	common := int64(len(s.landmarks))*nodeBytes + int64(len(s.lmRow))*int32Bytes +
+	total := int64(len(s.landmarks))*nodeBytes + int64(len(s.lmRow))*int32Bytes +
 		int64(len(s.short))*nodeBytes
-	if s.rep != nil {
-		for _, set := range s.rep.vic {
-			common += setBytes + int64(len(set.Entries))*entryBytes
+	rowBytes := int64(s.g.N()) * nodeBytes
+	for o := s.ov; o != nil; o = o.prev {
+		for _, set := range o.vic {
+			total += setBytes + int64(len(set.Entries))*entryBytes
 		}
-		common += int64(len(s.rep.rows)) * int64(s.g.N()) * nodeBytes
+		total += int64(len(o.rows)) * rowBytes
 	}
-	if s.compact {
-		return common +
-			int64(len(s.vicBlob)) +
-			int64(len(s.vicOff))*off64Bytes +
-			int64(len(s.vicLen))*int32Bytes +
-			int64(len(s.forest)) +
-			int64(len(s.degOff))*off64Bytes
-	}
-	return common +
-		int64(len(s.entries))*entryBytes +
-		int64(len(s.off))*offBytes +
-		int64(len(s.sets))*setBytes +
-		int64(len(s.parents))*nodeBytes
+	return total + s.store.storeBytes()
 }

@@ -6,7 +6,11 @@
 // it by pointer, so worker-private state shrinks to counters and small
 // scratch buffers instead of private vicinity maps and tree caches.
 //
-// Two storage regimes exist behind one API:
+// Storage is organized as a shard store (store.go): every vicinity window
+// and forest row is a shard, a shardStore holds one base generation of
+// shards, and a Snapshot reads through an overlay chain of repaired
+// shards (repair.go) down into that store. Two store implementations
+// exist behind one API:
 //
 //   - Exact (Build): all vicinity entries live in one contiguous
 //     []vicinity.Entry with per-node offsets, and landmark trees are parent
@@ -21,7 +25,10 @@
 //     through float32, so figure output is byte-identical on integer-weight
 //     topologies and shifts at most at float32 precision elsewhere; the
 //     exact regime remains the escape hatch (and the default) for any
-//     figure whose output would move.
+//     figure whose output would move. With a spill directory configured
+//     (SetSpillDir), the store's blobs live in an unlinked mmapped file
+//     instead of the heap (spill.go), so resident memory tracks the hot
+//     shards, not the generation.
 //
 // Immutability contract: everything reachable from a Snapshot is read-only
 // after Build returns. Callers must not modify returned sets, entries or
@@ -38,35 +45,25 @@ import (
 
 // Snapshot is the shared immutable route state of one converged
 // environment: the vicinity table of every node and the shortest-path
-// forest rooted at every landmark, in either the exact or the compact
-// storage regime.
+// forest rooted at every landmark. Reads check the repair overlay chain
+// (nil on snapshots built from scratch), then fall through to the shard
+// store — the base generation shared across a repair chain.
 type Snapshot struct {
-	g *graph.Graph
-	k int // vicinity size actually built (clamped to n)
+	g       *graph.Graph
+	k       int  // vicinity size actually built (clamped to n)
+	compact bool // which store regime the snapshot was built in
 
-	// Exact regime. Flat vicinity table: node v's entries are
-	// entries[off[v]:off[v+1]], sorted by member ID. sets[v] is the
-	// ready-made Set view over that window. parents[row*n:(row+1)*n] is the
-	// parent array of the tree rooted at landmarks[row].
-	entries []vicinity.Entry
-	off     []int
-	sets    []vicinity.Set
-	parents []graph.NodeID
+	store shardStore
+	// sref is this snapshot's counted reference to the store's spill
+	// mapping; nil for heap-backed stores. Every snapshot sharing a
+	// spilled store holds its own (see spill.go).
+	sref *storeRef
 
-	// Compact regime (see compact.go for the wire format). vicBlob holds
-	// the byte-aligned bit-packed window of node v at
-	// vicBlob[vicOff[v]:vicOff[v+1]]; forest holds one rowBytes-wide
-	// port-index parent row per landmark, with node v's field at row bit
-	// offset degOff[v], degOff[v+1]-degOff[v] bits wide.
-	compact  bool
-	vicBlob  []byte
-	vicOff   []int64
-	vicLen   []int32 // per-node window member count; nil = every window has k
-	idWidth  int     // bits of the first (absolute) member ID: Width(n)
-	pWidth   int     // bits of one parent window index: Width(k+1)
-	forest   []byte
-	degOff   []int64
-	rowBytes int
+	// ov is the repair overlay chain: nil on snapshots built from scratch
+	// and on freshly folded chains, newest link first otherwise. All base
+	// storage of a repaired snapshot is shared with the chain's base;
+	// reads check the chain first.
+	ov *overlay
 
 	// Landmark bookkeeping (both regimes): lmRow maps a node to its forest
 	// row, or -1 when the node is not a landmark.
@@ -78,11 +75,10 @@ type Snapshot struct {
 	// search: u ∈ V(x) implies d(x,u) <= maxRadius.
 	maxRadius float64
 
-	// rep is the repair overlay: nil on snapshots built from scratch,
-	// non-nil on snapshots returned by ApplyFailures/ApplyRecoveries (see
-	// repair.go). All other storage fields of a repaired snapshot are
-	// shared with the chain's base; reads check the overlay first.
-	rep *repairState
+	// repaired marks snapshots produced by ApplyFailures/ApplyRecoveries
+	// (possibly folded); stats is that repair's accounting.
+	repaired bool
+	stats    RepairStats
 
 	// short lists, ascending, the nodes whose vicinity windows hold fewer
 	// than k entries — only possible after repairs of a disconnecting
@@ -106,7 +102,10 @@ func Build(g *graph.Graph, k int, landmarks []graph.NodeID) (*Snapshot, error) {
 // state bit-packed to a fraction of the exact footprint (the regime that
 // makes paper-scale -full runs fit in memory). Vicinity windows are built
 // and encoded shard by shard, so peak transient memory tracks the encoded
-// size instead of the 16-byte-per-entry exact table.
+// size instead of the 16-byte-per-entry exact table. When a spill
+// directory is configured the encoded store is written to an unlinked
+// file and mmapped; a failing spill is an error (the caller asked for it
+// explicitly).
 func BuildCompact(g *graph.Graph, k int, landmarks []graph.NodeID) (*Snapshot, error) {
 	return build(g, k, landmarks, true)
 }
@@ -132,22 +131,32 @@ func build(g *graph.Graph, k int, landmarks []graph.NodeID, compact bool) (*Snap
 	for row, lm := range landmarks {
 		s.lmRow[lm] = int32(row)
 	}
-	var err error
 	if compact {
-		err = s.buildCompactVicinities()
+		cs := &compactStore{n: n, k: k, pg: g}
+		if err := s.buildCompactVicinities(cs); err != nil {
+			return nil, err
+		}
+		if err := s.buildCompactForest(cs); err != nil {
+			return nil, err
+		}
+		if dir := SpillDir(); dir != "" {
+			if err := cs.spillTo(dir); err != nil {
+				return nil, err
+			}
+			if cs.sp != nil {
+				s.sref = newStoreRef(cs.sp)
+			}
+		}
+		s.store = cs
 	} else {
-		err = s.buildExactVicinities()
-	}
-	if err != nil {
-		return nil, err
-	}
-	if compact {
-		err = s.buildCompactForest()
-	} else {
-		err = s.buildExactForest()
-	}
-	if err != nil {
-		return nil, err
+		st := &exactStore{n: n}
+		if err := s.buildExactVicinities(st); err != nil {
+			return nil, err
+		}
+		if err := s.buildExactForest(st); err != nil {
+			return nil, err
+		}
+		s.store = st
 	}
 	return s, nil
 }
@@ -156,13 +165,13 @@ func build(g *graph.Graph, k int, landmarks []graph.NodeID, compact bool) (*Snap
 // per node into its own window, then sort the window by member ID (the Set
 // order). Shortfalls (a vicinity that could not settle k nodes) are
 // collected per task and reported after the sweep.
-func (s *Snapshot) buildExactVicinities() error {
+func (s *Snapshot) buildExactVicinities(st *exactStore) error {
 	n, k := s.g.N(), s.k
-	s.entries = make([]vicinity.Entry, n*k)
-	s.off = make([]int, n+1)
-	s.sets = make([]vicinity.Set, n)
+	st.entries = make([]vicinity.Entry, n*k)
+	st.off = make([]int, n+1)
+	st.sets = make([]vicinity.Set, n)
 	for v := 0; v <= n; v++ {
-		s.off[v] = v * k
+		st.off[v] = v * k
 	}
 	settled := make([]int32, n)
 	graph.ForEachSource(s.g, graph.AllNodes(s.g), func(sp *graph.SSSP, i int, src graph.NodeID) {
@@ -172,12 +181,12 @@ func (s *Snapshot) buildExactVicinities() error {
 		if len(order) != k {
 			return
 		}
-		win := s.entries[s.off[i]:s.off[i+1]]
+		win := st.entries[st.off[i]:st.off[i+1]]
 		fillWindow(win, sp, order)
-		s.sets[i] = vicinity.MakeSet(src, win)
+		st.sets[i] = vicinity.MakeSet(src, win)
 	})
-	for i := range s.sets {
-		if r := s.sets[i].Radius(); r > s.maxRadius {
+	for i := range st.sets {
+		if r := st.sets[i].Radius(); r > s.maxRadius {
 			s.maxRadius = r
 		}
 	}
@@ -186,14 +195,14 @@ func (s *Snapshot) buildExactVicinities() error {
 
 // buildExactForest computes one full Dijkstra per landmark into its parent
 // row.
-func (s *Snapshot) buildExactForest() error {
+func (s *Snapshot) buildExactForest(st *exactStore) error {
 	n := s.g.N()
-	s.parents = make([]graph.NodeID, len(s.landmarks)*n)
+	st.parents = make([]graph.NodeID, len(s.landmarks)*n)
 	settled := make([]int32, len(s.landmarks))
 	graph.ForEachSource(s.g, s.landmarks, func(sp *graph.SSSP, row int, lm graph.NodeID) {
 		sp.Run(lm)
 		settled[row] = int32(len(sp.Order()))
-		prow := s.parents[row*n : (row+1)*n]
+		prow := st.parents[row*n : (row+1)*n]
 		for v := 0; v < n; v++ {
 			prow[v] = sp.Parent(graph.NodeID(v))
 		}
@@ -227,16 +236,6 @@ func forestShortfall(settled []int32, landmarks []graph.NodeID, n int) error {
 // K returns the vicinity size the table was built with (clamped to n).
 func (s *Snapshot) K() int { return s.k }
 
-// winLen returns the number of entries in node v's base-storage window.
-// From-scratch builds always hold k; folded repair chains may hold
-// shortfall windows, recorded in vicLen.
-func (s *Snapshot) winLen(v graph.NodeID) int {
-	if s.vicLen != nil {
-		return int(s.vicLen[v])
-	}
-	return s.k
-}
-
 // Graph returns the graph the snapshot was built over.
 func (s *Snapshot) Graph() *graph.Graph { return s.g }
 
@@ -253,31 +252,30 @@ func (s *Snapshot) Landmarks() []graph.NodeID { return s.landmarks }
 // Callers that only need membership should prefer VicinityContains, which
 // never materializes the window.
 func (s *Snapshot) Vicinity(v graph.NodeID) *vicinity.Set {
-	if s.rep != nil {
-		if set, ok := s.rep.vic[v]; ok {
-			return set
-		}
+	if set, ok := s.ov.findVic(v); ok {
+		return set
 	}
-	if s.compact {
-		set := vicinity.MakeSet(v, s.decodeWindow(v))
-		return &set
-	}
-	return &s.sets[v]
+	return s.store.windowSet(v)
 }
 
 // VicinityContains reports w ∈ V(v) without materializing the window in
 // either regime — the cheap probe the per-hop forwarding checks use, where
 // the common answer is "no".
 func (s *Snapshot) VicinityContains(v, w graph.NodeID) bool {
-	if s.rep != nil {
-		if set, ok := s.rep.vic[v]; ok {
-			return set.Contains(w)
-		}
+	if set, ok := s.ov.findVic(v); ok {
+		return set.Contains(w)
 	}
-	if s.compact {
-		return s.compactContains(v, w)
+	return s.store.windowContains(v, w)
+}
+
+// windowMeta returns V(v)'s member count and radius without materializing
+// the window in either regime — what the recovery pipeline's per-candidate
+// probes run on. The radius is exactly Vicinity(v).Radius().
+func (s *Snapshot) windowMeta(v graph.NodeID) (size int, radius float64) {
+	if set, ok := s.ov.findVic(v); ok {
+		return set.Size(), set.Radius()
 	}
-	return s.sets[v].Contains(w)
+	return s.store.windowLen(v), s.store.windowRadius(v)
 }
 
 // HasTree reports whether root is a landmark, i.e. whether the snapshot
@@ -295,51 +293,41 @@ func (s *Snapshot) row(root graph.NodeID) int {
 
 // parentAt reads one field of forest row `row`, dispatching between the
 // repair overlay (recomputed rows own plain parent arrays) and the shared
-// built storage. graph.None means v is the root — or, on a repaired row,
+// base store. graph.None means v is the root — or, on a repaired row,
 // that the failures cut v off from the root entirely (check Reaches).
 func (s *Snapshot) parentAt(row int, v graph.NodeID) graph.NodeID {
-	if s.rep != nil {
-		if prow, ok := s.rep.rows[row]; ok {
-			return prow[v]
-		}
+	if prow, ok := s.ov.findRow(row); ok {
+		return prow[v]
 	}
-	if s.compact {
-		return s.compactParent(row, v)
-	}
-	n := s.g.N()
-	return s.parents[row*n : (row+1)*n][v]
-}
-
-// portGraph returns the graph whose sorted adjacency lists the compact
-// forest rows index. On a built snapshot that is the snapshot's own graph;
-// on a repaired snapshot the shared (unpatched) rows still encode ports of
-// the graph they were built over, so decoding keeps using it — safe,
-// because an unpatched row's tree crosses no failed link.
-func (s *Snapshot) portGraph() *graph.Graph {
-	if s.rep != nil {
-		return s.rep.portG
-	}
-	return s.g
+	return s.store.rowParent(row, v)
 }
 
 // ForestParents returns the parent array of root's shortest-path tree as
 // one flat n-length row indexed by node — when the snapshot already stores
 // it that way: exact-regime base rows and every repaired-overlay row. In
-// the compact regime (no overlay row) it returns nil and callers decode
-// per node via Parent. root must be a landmark. Shared immutable storage;
+// the compact regime (no overlay row) it returns nil and callers either
+// decode per node via Parent or materialize the row once via
+// DecodeForestRow. root must be a landmark. Shared immutable storage;
 // do not modify.
 func (s *Snapshot) ForestParents(root graph.NodeID) []graph.NodeID {
 	row := s.row(root)
-	if s.rep != nil {
-		if prow, ok := s.rep.rows[row]; ok {
-			return prow
-		}
+	if prow, ok := s.ov.findRow(row); ok {
+		return prow
 	}
-	if s.compact {
-		return nil
+	return s.store.rowFlat(row)
+}
+
+// DecodeForestRow returns the full parent row of root's shortest-path
+// tree as a flat n-length array unconditionally — shared by reference
+// where the snapshot already stores it flat (see ForestParents), decoded
+// in one sequential pass over the bit stream otherwise (compact regime).
+// root must be a landmark. Treat the result as read-only.
+func (s *Snapshot) DecodeForestRow(root graph.NodeID) []graph.NodeID {
+	row := s.row(root)
+	if prow, ok := s.ov.findRow(row); ok {
+		return prow
 	}
-	n := s.g.N()
-	return s.parents[row*n : (row+1)*n : (row+1)*n]
+	return s.store.decodeRow(row)
 }
 
 // Parent returns v's predecessor on root's shortest-path tree

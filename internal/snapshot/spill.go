@@ -1,0 +1,126 @@
+// Cold-shard spill: the compact regime's base storage is two contiguous
+// byte slices (the vicinity blob and the forest rows), so a store can be
+// written to a file once at build/fold time and served through a
+// read-only mmap from then on. The heap copy is dropped, and resident
+// memory tracks the shards actually touched — the hot blast radius plus
+// the overlay — instead of the whole generation; cold pages are clean and
+// file-backed, so the kernel evicts them under pressure for free.
+//
+// Lifetime is counted, not garbage-collected, because an mmap read after
+// munmap is a fault, not a nil deref. One spillFile backs one store
+// generation; every Snapshot over that generation holds its own storeRef
+// (finishRepair clones one per chained child), and the serve plane's
+// Handle takes an additional reference per published epoch, released when
+// the epoch retires. The mapping is unmapped exactly when the last
+// reference drops. A storeRef carries a GC finalizer as the safety net
+// for snapshots that are simply dropped (the timeline's superseded heads)
+// rather than explicitly released.
+//
+// The spill file itself is unlinked immediately after mapping: the inode
+// lives exactly as long as the mapping, and no cleanup pass is ever
+// needed, even on a crash.
+package snapshot
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// spillDir holds the package-level spill configuration (set from the
+// -spill flag through eval.SetSnapshotSpill). Empty means all storage
+// stays on the heap.
+var spillDir atomic.Value // string
+
+// SetSpillDir sets the directory compact-regime builds and folds write
+// their cold-shard spill files to. The empty string (the default)
+// disables spilling. Takes effect for snapshots built or folded after the
+// call.
+func SetSpillDir(dir string) { spillDir.Store(dir) }
+
+// SpillDir returns the configured spill directory, or "".
+func SpillDir() string {
+	if v := spillDir.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// spillFile is one mmapped, unlinked storage file with a reference count.
+// The mapping is torn down when the count drops to zero; retaining a
+// torn-down file is a lifetime bug.
+type spillFile struct {
+	data []byte
+	refs atomic.Int64
+}
+
+func (f *spillFile) retain() {
+	if f.refs.Add(1) <= 0 {
+		panic("snapshot: retain of an unmapped spill file")
+	}
+}
+
+func (f *spillFile) release() {
+	r := f.refs.Add(-1)
+	if r < 0 {
+		panic("snapshot: spill file released below zero")
+	}
+	if r == 0 {
+		data := f.data
+		f.data = nil
+		unmapFile(data)
+	}
+}
+
+// storeRef is one snapshot's counted reference to its store's spill
+// mapping: released at most once, explicitly (ReleaseStorage, the fold
+// path) or by the GC finalizer when the snapshot is dropped without one.
+type storeRef struct {
+	f        *spillFile
+	released atomic.Bool
+}
+
+func newStoreRef(f *spillFile) *storeRef {
+	f.retain()
+	r := &storeRef{f: f}
+	runtime.SetFinalizer(r, (*storeRef).release)
+	return r
+}
+
+func (r *storeRef) release() {
+	if !r.released.Swap(true) {
+		r.f.release()
+	}
+}
+
+// ReleaseStorage drops this snapshot's reference to its spilled (mmapped)
+// base storage, if any; idempotent, and a no-op for heap-backed
+// snapshots. Once every snapshot and published handle sharing the mapping
+// has released it, the storage is unmapped and further reads through any
+// of them fault — callers release only when they are done reading. The GC
+// releases dropped snapshots automatically; the explicit call is for
+// callers that want the address space back promptly.
+func (s *Snapshot) ReleaseStorage() {
+	if s.sref != nil {
+		s.sref.release()
+	}
+}
+
+// spillTo writes the store's two blobs into one unlinked file under dir
+// and swaps the slices over to a shared read-only mapping. On error the
+// store is unchanged (still heap-backed). A store with no bytes to spill
+// is left alone.
+func (cs *compactStore) spillTo(dir string) error {
+	nb := len(cs.vicBlob)
+	if nb+len(cs.forest) == 0 {
+		return nil
+	}
+	data, err := mapFile(dir, cs.vicBlob, cs.forest)
+	if err != nil {
+		return fmt.Errorf("snapshot: spill to %s: %w", dir, err)
+	}
+	cs.sp = &spillFile{data: data}
+	cs.vicBlob = data[:nb:nb]
+	cs.forest = data[nb:]
+	return nil
+}

@@ -1,0 +1,38 @@
+//go:build linux
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile writes the given byte parts back to back into a fresh temp file
+// under dir and returns a shared read-only mapping of the whole file. The
+// file is unlinked before returning: the mapping is the only thing
+// keeping the inode alive, so teardown is munmap and nothing else.
+func mapFile(dir string, parts ...[]byte) ([]byte, error) {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.shards")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+	for _, p := range parts {
+		if _, err := tmp.Write(p); err != nil {
+			return nil, err
+		}
+	}
+	return syscall.Mmap(int(tmp.Fd()), 0, total, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapFile tears down a mapFile mapping.
+func unmapFile(data []byte) {
+	if len(data) > 0 {
+		_ = syscall.Munmap(data)
+	}
+}

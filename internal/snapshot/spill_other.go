@@ -1,0 +1,14 @@
+//go:build !linux
+
+package snapshot
+
+import "errors"
+
+// mapFile is the non-linux stub: cold-shard spill needs mmap, so builds
+// and folds on other platforms report the error and the caller keeps the
+// storage on the heap (folds) or surfaces it (builds).
+func mapFile(dir string, parts ...[]byte) ([]byte, error) {
+	return nil, errors.New("cold-shard spill is only supported on linux")
+}
+
+func unmapFile(data []byte) {}

@@ -1,0 +1,129 @@
+//go:build linux
+
+package snapshot
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"disco/internal/graph"
+	"disco/internal/vicinity"
+)
+
+func withSpillDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	SetSpillDir(dir)
+	t.Cleanup(func() { SetSpillDir("") })
+	return dir
+}
+
+// TestSpillEquivalence: spilling is a storage decision, not a semantic
+// one — a spilled compact snapshot must read and serialize identically to
+// the in-heap build, through repairs and across a chain fold (whose fresh
+// generation spills again).
+func TestSpillEquivalence(t *testing.T) {
+	env := buildEnv(t, 256, 29)
+	k := vicinity.DefaultK(env.N())
+	heap := mustBuild(t, env, k, true)
+	heapBytes := heap.CanonicalBytes()
+
+	withSpillDir(t)
+	sp, err := BuildCompact(env.G, k, env.Landmarks)
+	if err != nil {
+		t.Fatalf("BuildCompact with spill: %v", err)
+	}
+	if sp.sref == nil {
+		t.Fatal("spill-dir build produced no spill reference")
+	}
+	if !bytes.Equal(sp.CanonicalBytes(), heapBytes) {
+		t.Fatal("spilled snapshot's CanonicalBytes differ from the in-heap build")
+	}
+
+	// Drive a chain far enough to fold; every step must stay equivalent to
+	// a from-scratch (in-heap path irrelevant: CanonicalBytes is
+	// storage-independent) build of the current topology.
+	d := newChainDriver(sp)
+	rng := rand.New(rand.NewSource(41))
+	folded := false
+	for step := 0; step < 24; step++ {
+		if step%3 == 2 && len(d.down) > 0 {
+			d.recoverOne(t, rng)
+		} else {
+			d.failOne(t, rng, true)
+		}
+		if d.cur.RepairStats().Folded {
+			folded = true
+			if d.cur.sref == nil {
+				t.Fatal("fold under an active spill dir kept storage on the heap")
+			}
+		}
+		fresh, err := BuildCompact(d.cur.Graph(), k, env.Landmarks)
+		if err != nil {
+			t.Fatalf("step %d: fresh build: %v", step, err)
+		}
+		if !bytes.Equal(d.cur.CanonicalBytes(), fresh.CanonicalBytes()) {
+			t.Fatalf("step %d: spilled chain diverged from fresh build", step)
+		}
+	}
+	if !folded {
+		t.Error("sequence never folded; lengthen it so spill covers the fold path")
+	}
+}
+
+// TestSpillRefcount pins the mapping lifetime protocol: one reference per
+// snapshot over the generation, one more per published handle, unmap
+// exactly at zero.
+func TestSpillRefcount(t *testing.T) {
+	env := buildEnv(t, 128, 5)
+	k := vicinity.DefaultK(env.N())
+	withSpillDir(t)
+	s, err := BuildCompact(env.G, k, env.Landmarks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.sref.f
+	if got := f.refs.Load(); got != 1 {
+		t.Fatalf("refs after build = %d, want 1", got)
+	}
+	h := NewHandle(s, 1, nil)
+	if got := f.refs.Load(); got != 2 {
+		t.Fatalf("refs after NewHandle = %d, want 2", got)
+	}
+	s.ReleaseStorage()
+	s.ReleaseStorage() // idempotent
+	if got := f.refs.Load(); got != 1 {
+		t.Fatalf("refs after ReleaseStorage = %d, want 1", got)
+	}
+	if f.data == nil {
+		t.Fatal("mapping torn down while the handle still references it")
+	}
+	// The handle's reference keeps reads valid until its epoch retires.
+	if h.Snapshot().Vicinity(graph.NodeID(0)).Size() == 0 {
+		t.Fatal("empty vicinity window through a live handle")
+	}
+	h.Release()
+	if got := f.refs.Load(); got != 0 {
+		t.Fatalf("refs after handle release = %d, want 0", got)
+	}
+	if f.data != nil {
+		t.Fatal("mapping not torn down at refcount zero")
+	}
+}
+
+// TestSpillExactUnaffected: the exact regime has no file encoding; a
+// configured spill dir must leave exact builds heap-backed rather than
+// failing them.
+func TestSpillExactUnaffected(t *testing.T) {
+	env := buildEnv(t, 128, 5)
+	k := vicinity.DefaultK(env.N())
+	withSpillDir(t)
+	s, err := Build(env.G, k, env.Landmarks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.sref != nil {
+		t.Fatal("exact build acquired a spill reference")
+	}
+}
