@@ -355,6 +355,7 @@ func main() {
 	var failed []string
 	for _, e := range experiments {
 		if *exp == "all" || *exp == e.name {
+			//disco:measured wall-clock experiment duration, printed as a progress aside, never in figure data
 			start := time.Now()
 			fmt.Printf("== %s: %s ==\n", e.name, e.desc)
 			// A failing experiment must not abort the sweep: report it,
@@ -366,6 +367,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 				failed = append(failed, e.name)
 			}
+			//disco:measured wall-clock experiment duration, printed as a progress aside, never in figure data
 			fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
 			ran = true
 		}

@@ -141,6 +141,7 @@ func (r *NDDisco) Vicinity(v graph.NodeID) *vicinity.Set {
 		return s
 	}
 	if r.vicCap > 0 && len(r.vic) >= r.vicCap {
+		//disco:orderinvariant eviction victim choice only affects future recompute cost, never any returned set
 		for k := range r.vic { // evict an arbitrary entry
 			delete(r.vic, k)
 			break

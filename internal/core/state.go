@@ -115,6 +115,7 @@ func (d *Disco) groupSizes() []int {
 		kset[d.View.KOf(graph.NodeID(v))] = true
 	}
 	counts := map[int]map[uint64]int{}
+	//disco:orderinvariant each k's histogram is built from the full hash set independently; writes are keyed by k
 	for k := range kset {
 		c := make(map[uint64]int)
 		for w := 0; w < n; w++ {

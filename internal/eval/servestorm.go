@@ -236,6 +236,7 @@ func ServeStorm(kind TopoKind, n int, seed int64, pairs, events, queriers int, t
 	var done atomic.Bool
 	hists := make([]*latHist, queriers)
 	var wg sync.WaitGroup
+	//disco:measured query-plane latency measurement; feeds the latency histogram, never the event log
 	start := time.Now()
 	for q := 0; q < queriers; q++ {
 		hists[q] = &latHist{}
@@ -246,8 +247,10 @@ func ServeStorm(kind TopoKind, n int, seed int64, pairs, events, queriers int, t
 			for !done.Load() {
 				s, t := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
 				later := rng.Intn(2) == 1
+				//disco:measured per-probe serving latency sample
 				t0 := time.Now()
 				plane.Probe(s, t, later)
+				//disco:measured per-probe serving latency sample
 				hists[q].add(time.Since(t0).Nanoseconds())
 			}
 		}(q)
@@ -302,6 +305,7 @@ func ServeStorm(kind TopoKind, n int, seed int64, pairs, events, queriers int, t
 	}
 	done.Store(true)
 	wg.Wait()
+	//disco:measured storm wall-clock for the throughput report
 	secs := time.Since(start).Seconds()
 	// The storm is over and the queriers have drained: close the plane so
 	// the final epoch's publisher handle is released too — Metrics then

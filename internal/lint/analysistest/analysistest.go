@@ -1,0 +1,154 @@
+// Package analysistest runs an analyzer over GOPATH-style testdata
+// packages and checks its diagnostics against `// want` comments — a
+// miniature of golang.org/x/tools/go/analysis/analysistest with the
+// same testdata layout and comment syntax, so suites written against
+// it port to the real harness unchanged.
+//
+// A want comment lists one quoted regexp per expected diagnostic on
+// its line:
+//
+//	for k := range m { // want `range over map`
+//
+// Lines with no want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"disco/internal/lint/analysis"
+	"disco/internal/lint/load"
+)
+
+// TestData returns the testdata directory of the calling test's
+// package ("testdata" relative to the test's working directory).
+func TestData() string { return "testdata" }
+
+// Run loads each testdata package, applies the analyzer, and reports
+// any mismatch between produced diagnostics and // want expectations
+// as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		loader := load.NewLoader(testdata)
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		directives := analysis.ParseDirectives(pkg.Fset, pkg.Files)
+		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, directives)
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s: analyzer %s failed: %v", path, a.Name, err)
+			continue
+		}
+		check(t, pkg, pass.Diagnostics())
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+// check matches diagnostics against want comments line by line.
+func check(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	got := make(map[key][]string)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	for k, res := range wants {
+		msgs := got[k]
+		for _, re := range res {
+			matched := -1
+			for i, m := range msgs {
+				if m != "" && re.MatchString(m) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", k.file, k.line, re, msgs)
+				continue
+			}
+			msgs[matched] = "" // consumed
+		}
+		for _, m := range msgs {
+			if m != "" {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+			}
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+// collectWants parses `// want "re" ...` comments into per-line
+// expectation lists.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[key][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWant(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], res...)
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant splits a want payload into its quoted regexps. Both "..."
+// and `...` quoting are accepted.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated regexp in %q", s)
+		}
+		pat := s[1 : 1+end]
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, re)
+		s = s[2+end:]
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return res, nil
+}

@@ -1,0 +1,12 @@
+package handleref_test
+
+import (
+	"testing"
+
+	"disco/internal/lint/analysistest"
+	"disco/internal/lint/handleref"
+)
+
+func TestHandleRef(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), handleref.Analyzer, "eval")
+}

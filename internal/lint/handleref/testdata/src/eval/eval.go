@@ -1,0 +1,174 @@
+// Package eval exercises handleref: every successful TryRetain must be
+// matched by a Release, a defer Release, or an ownership escape on
+// every path out of the retained region.
+package eval
+
+import "snapshot"
+
+func work()                    {}
+func use(s *snapshot.Snapshot) {}
+func sink(h *snapshot.Handle)  {}
+
+// --- flagged ---
+
+func leakOnFallOff(h *snapshot.Handle) {
+	if h.TryRetain() { // want `successful TryRetain of h is not matched by a Release on every path`
+		work()
+	}
+}
+
+func leakOnOnePath(h *snapshot.Handle, ok bool) {
+	if h.TryRetain() { // want `successful TryRetain of h is not matched by a Release on every path`
+		if ok {
+			h.Release()
+			return
+		}
+		work() // this path drops the reference on the floor
+	}
+}
+
+func leakNegatedGuard(h *snapshot.Handle) {
+	if !h.TryRetain() { // want `successful TryRetain of h is not matched by a Release on every path`
+		return
+	}
+	use(h.Snapshot())
+	// fall-off without Release
+}
+
+func leakOkAssign(h *snapshot.Handle) {
+	ok := h.TryRetain() // want `successful TryRetain of h is not matched by a Release on every path`
+	if ok {
+		work()
+	}
+}
+
+func discardedResult(h *snapshot.Handle) {
+	_ = h.TryRetain() // want `TryRetain result discarded`
+}
+
+func discardedExpr(h *snapshot.Handle) {
+	h.TryRetain() // want `TryRetain result discarded`
+}
+
+func leakInSwitch(h *snapshot.Handle, mode int) {
+	if h.TryRetain() { // want `successful TryRetain of h is not matched by a Release on every path`
+		switch mode {
+		case 0:
+			h.Release()
+		default:
+			work() // leaks
+		}
+	}
+}
+
+// --- balanced ---
+
+func releaseOnExit(h *snapshot.Handle) {
+	if h.TryRetain() {
+		use(h.Snapshot())
+		h.Release()
+	}
+}
+
+func deferRelease(h *snapshot.Handle) {
+	if h.TryRetain() {
+		defer h.Release()
+		use(h.Snapshot())
+	}
+}
+
+func deferClosureRelease(h *snapshot.Handle) {
+	if h.TryRetain() {
+		defer func() { h.Release() }()
+		use(h.Snapshot())
+	}
+}
+
+func releaseBothBranches(h *snapshot.Handle, ok bool) {
+	if h.TryRetain() {
+		if ok {
+			h.Release()
+			return
+		}
+		h.Release()
+	}
+}
+
+func negatedGuardBalanced(h *snapshot.Handle) {
+	if !h.TryRetain() {
+		return
+	}
+	use(h.Snapshot())
+	h.Release()
+}
+
+func okAssignBalanced(h *snapshot.Handle) {
+	ok := h.TryRetain()
+	if ok {
+		h.Release()
+	}
+}
+
+func okAssignNegated(h *snapshot.Handle) {
+	ok := h.TryRetain()
+	if !ok {
+		return
+	}
+	use(h.Snapshot())
+	h.Release()
+}
+
+func switchAllRelease(h *snapshot.Handle, mode int) {
+	if h.TryRetain() {
+		switch mode {
+		case 0:
+			h.Release()
+		default:
+			h.Release()
+		}
+	}
+}
+
+// --- escapes: ownership transferred, caller releases ---
+
+func escapeReturn(h *snapshot.Handle) *snapshot.Handle {
+	if h.TryRetain() {
+		return h
+	}
+	return nil
+}
+
+func escapeCall(h *snapshot.Handle) {
+	if h.TryRetain() {
+		sink(h)
+	}
+}
+
+type entry struct {
+	h *snapshot.Handle
+}
+
+func escapeContainer(e *entry) *entry {
+	if e.h.TryRetain() {
+		return e // returning the struct holding the handle aliases it
+	}
+	return nil
+}
+
+func escapeGoroutine(h *snapshot.Handle) {
+	if h.TryRetain() {
+		go func() {
+			use(h.Snapshot())
+			h.Release()
+		}()
+	}
+}
+
+// --- waived ---
+
+func waivedPin(h *snapshot.Handle) {
+	//disco:retained deliberate long-lived pin held until process exit
+	if h.TryRetain() {
+		work()
+	}
+}

@@ -1,0 +1,17 @@
+// Package snapshot is a stub of the repo's snapshot package for
+// handleref testdata: the analyzer matches the Handle type by name and
+// package-path suffix.
+package snapshot
+
+type Snapshot struct{}
+
+type Handle struct {
+	refs int64
+}
+
+func (h *Handle) TryRetain() bool     { return h.refs > 0 }
+func (h *Handle) Retain()             { h.refs++ }
+func (h *Handle) Release()            { h.refs-- }
+func (h *Handle) Snapshot() *Snapshot { return nil }
+func (h *Handle) Epoch() uint64       { return 0 }
+func (h *Handle) Refs() int64         { return h.refs }

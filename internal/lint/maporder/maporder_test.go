@@ -1,0 +1,27 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"disco/internal/lint/analysistest"
+	"disco/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "eval", "other")
+}
+
+func TestDeterministic(t *testing.T) {
+	for path, want := range map[string]bool{
+		"disco/internal/eval":  true,
+		"disco/internal/lint":  false,
+		"eval":                 true,
+		"disco/cmd/discosim":   true,
+		"disco/internal/serve": true,
+		"other":                false,
+	} {
+		if got := maporder.Deterministic(path); got != want {
+			t.Errorf("Deterministic(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

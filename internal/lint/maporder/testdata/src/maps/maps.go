@@ -1,0 +1,7 @@
+// Package maps is a stub of the standard library's maps for analyzer
+// testdata: maporder flags ranging over Keys/Values/All by call shape,
+// whatever they return.
+package maps
+
+func Keys[M ~map[K]V, K comparable, V any](m M) []K   { return nil }
+func Values[M ~map[K]V, K comparable, V any](m M) []V { return nil }

@@ -1,0 +1,11 @@
+// Package other is outside the deterministic set: maporder must stay
+// silent here no matter what the loops do.
+package other
+
+func anythingGoes(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+// Package sort is a stub of the standard library's sort for analyzer
+// testdata: maporder matches sort calls by name only.
+package sort
+
+func Ints(x []int)                                {}
+func Slice(x any, less func(i, j int) bool)       {}
+func SliceStable(x any, less func(i, j int) bool) {}

@@ -1,0 +1,12 @@
+package mergeorder_test
+
+import (
+	"testing"
+
+	"disco/internal/lint/analysistest"
+	"disco/internal/lint/mergeorder"
+)
+
+func TestMergeOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mergeorder.Analyzer, "eval")
+}

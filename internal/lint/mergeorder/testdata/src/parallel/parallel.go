@@ -1,0 +1,43 @@
+// Package parallel is a stub of the repo's worker pool for mergeorder
+// testdata: same entry-point names and closure signatures, sequential
+// execution.
+package parallel
+
+func Run(n int, fn func(task int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func RunScratch[S any](n int, newScratch func() S, fn func(scratch S, task int)) {
+	s := newScratch()
+	for i := 0; i < n; i++ {
+		fn(s, i)
+	}
+}
+
+func RunGather[S any](n int, newScratch func() S, fn func(scratch S, task int)) []S {
+	out := make([]S, n)
+	for i := 0; i < n; i++ {
+		out[i] = newScratch()
+		fn(out[i], i)
+	}
+	return out
+}
+
+func Map[T any](n int, fn func(task int) T) []T {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		out[i] = fn(i)
+	}
+	return out
+}
+
+func MapScratch[S, T any](n int, newScratch func() S, fn func(scratch S, task int) T) []T {
+	s := newScratch()
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		out[i] = fn(s, i)
+	}
+	return out
+}

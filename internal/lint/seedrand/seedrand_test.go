@@ -1,0 +1,12 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"disco/internal/lint/analysistest"
+	"disco/internal/lint/seedrand"
+)
+
+func TestSeedRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seedrand.Analyzer, "eval", "other")
+}

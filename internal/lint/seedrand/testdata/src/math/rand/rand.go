@@ -1,0 +1,16 @@
+// Package rand is a stub of math/rand for analyzer testdata: seedrand
+// matches the import path and selector names, not the real library.
+package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{}
+
+func NewSource(seed int64) Source        { return nil }
+func New(src Source) *Rand               { return &Rand{} }
+func (r *Rand) Intn(n int) int           { return 0 }
+func (r *Rand) Float64() float64         { return 0 }
+func Intn(n int) int                     { return 0 }
+func Float64() float64                   { return 0 }
+func Perm(n int) []int                   { return nil }
+func Shuffle(n int, swap func(i, j int)) {}

@@ -1,0 +1,12 @@
+// Package other is outside the deterministic set: seedrand must stay
+// silent here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func anythingGoes() (int, time.Time) {
+	return rand.Intn(7), time.Now()
+}

@@ -1,0 +1,12 @@
+// Package time is a stub of the standard library's time for analyzer
+// testdata.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+func Now() Time                     { return Time{} }
+func Since(t Time) Duration         { return 0 }
+func (t Time) UnixNano() int64      { return 0 }
+func (d Duration) Seconds() float64 { return 0 }

@@ -1,0 +1,12 @@
+package snapmutate_test
+
+import (
+	"testing"
+
+	"disco/internal/lint/analysistest"
+	"disco/internal/lint/snapmutate"
+)
+
+func TestSnapMutate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), snapmutate.Analyzer, "eval", "snapshot")
+}

@@ -1,0 +1,15 @@
+// Package graph is a stub of the repo's graph package for snapmutate
+// testdata: the analyzer matches the Graph type and its mutator method
+// names by package-path suffix.
+package graph
+
+type NodeID int32
+
+type Graph struct {
+	n int
+}
+
+func (g *Graph) N() int                         { return g.n }
+func (g *Graph) AddEdge(a, b NodeID, w float64) {}
+func (g *Graph) RemoveEdge(a, b NodeID)         {}
+func (g *Graph) Finalize()                      {}

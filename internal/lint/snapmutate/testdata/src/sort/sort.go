@@ -1,0 +1,6 @@
+// Package sort is a stub of the standard library's sort for analyzer
+// testdata: snapmutate matches sort calls by name only.
+package sort
+
+func Slice(x any, less func(i, j int) bool) {}
+func Ints(x []int)                          {}

@@ -1,0 +1,20 @@
+// Package vicinity is a stub of the repo's vicinity package for
+// snapmutate testdata: Table.Of is a sealed accessor.
+package vicinity
+
+import "graph"
+
+type Entry struct {
+	Node, Parent graph.NodeID
+	Dist         float64
+}
+
+type Set struct {
+	Entries []Entry
+}
+
+type Table struct {
+	sets map[graph.NodeID]*Set
+}
+
+func (t *Table) Of(v graph.NodeID) *Set { return t.sets[v] }

@@ -83,6 +83,7 @@ func (p *Protocol) dropNeighbor(nd *node, via graph.NodeID) {
 // grew get re-evaluated against them.
 func (p *Protocol) Refresh() {
 	for _, nd := range p.nodes {
+		//disco:orderinvariant markDirty only inserts into the dirty set; flush drains it in sorted order
 		for dst := range nd.best {
 			p.markDirty(nd, dst)
 		}
@@ -146,6 +147,7 @@ func (p *Protocol) PruneStale() {
 		// Sorted destination order: reselection has vicinity side effects,
 		// so map iteration order would make re-convergence nondeterministic.
 		stale := make([]graph.NodeID, 0)
+		//disco:orderinvariant pathAlive reads only link state; the stale set is sorted before reselection
 		for dst, r := range nd.best {
 			if !p.pathAlive(r.path) {
 				stale = append(stale, dst)
@@ -155,6 +157,7 @@ func (p *Protocol) PruneStale() {
 		for _, dst := range stale {
 			// Drop every candidate with a dead path, then reselect.
 			m := nd.cand[dst]
+			//disco:orderinvariant pathAlive is a pure predicate of the candidate; each delete removes its own key
 			for via, c := range m {
 				if !p.pathAlive(c.path) {
 					delete(m, via)

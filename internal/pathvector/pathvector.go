@@ -217,6 +217,7 @@ func (p *Protocol) vicAdmit(nd *node, dst graph.NodeID, d float64) bool {
 func (p *Protocol) worstVic(nd *node) (graph.NodeID, float64) {
 	worst := graph.None
 	worstD := -1.0
+	//disco:orderinvariant max-fold with a total-order tie-break on node ID
 	for v := range nd.vic {
 		d := nd.best[v].dist
 		if _, ok := nd.best[v]; !ok {
@@ -344,6 +345,7 @@ func (p *Protocol) forget(nd *node, dst graph.NodeID) {
 		return
 	}
 	bestVia, bestR, first := graph.None, route{}, true
+	//disco:orderinvariant min-fold with a total-order tie-break on via
 	for via, r := range m {
 		if first || r.dist < bestR.dist || (r.dist == bestR.dist && via < bestVia) {
 			bestVia, bestR, first = via, r, false
@@ -357,6 +359,7 @@ func (p *Protocol) forget(nd *node, dst graph.NodeID) {
 func (p *Protocol) reselect(nd *node, dst graph.NodeID) {
 	m := nd.cand[dst]
 	bestVia, bestR, found := graph.None, route{}, false
+	//disco:orderinvariant min-fold with a total-order tie-break on via
 	for via, r := range m {
 		if !found || r.dist < bestR.dist || (r.dist == bestR.dist && via < bestVia) {
 			bestVia, bestR, found = via, r, true
@@ -420,6 +423,7 @@ func (p *Protocol) BestPath(v, dst graph.NodeID) []graph.NodeID {
 func (p *Protocol) VicinitySet(v graph.NodeID) *vicinity.Set {
 	nd := p.nodes[v]
 	entries := make([]vicinity.Entry, 0, len(nd.vic))
+	//disco:orderinvariant FromEntries sorts the entries by node before building the set
 	for dst := range nd.vic {
 		r := nd.best[dst]
 		parent := graph.None
@@ -463,6 +467,7 @@ func (p *Protocol) LMDistances() []float64 {
 	out := make([]float64, len(p.nodes))
 	for v := range p.nodes {
 		best := graph.Inf
+		//disco:orderinvariant min-fold over distances; float min is commutative
 		for dst, r := range p.nodes[v].best {
 			if p.isLandmark(dst) && r.dist < best {
 				best = r.dist

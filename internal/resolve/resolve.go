@@ -110,6 +110,7 @@ func (db *DB) Imbalance(keys []names.Hash) float64 {
 		lms[p.lm] = true
 	}
 	max := 0
+	//disco:orderinvariant max-fold over ints; max is commutative
 	for _, c := range load {
 		if c > max {
 			max = c

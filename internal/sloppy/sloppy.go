@@ -57,6 +57,7 @@ func BuildGrouping(hashes []names.Hash, kBits int) *Grouping {
 		id := GroupID(h, kBits)
 		g.groups[id] = append(g.groups[id], graph.NodeID(i))
 	}
+	//disco:orderinvariant each group's member slice is sorted in place, independently of the others
 	for _, m := range g.groups {
 		sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
 	}

@@ -83,6 +83,7 @@ func (h *Handle) TryRetain() bool {
 // Retain acquires one reference on a handle the caller already knows is
 // live (it holds another reference). Retaining a reclaimed handle panics.
 func (h *Handle) Retain() {
+	//disco:retained Retain's contract is handing the acquired reference to the caller
 	if !h.TryRetain() {
 		panic("snapshot: Retain on a reclaimed handle")
 	}

@@ -558,6 +558,7 @@ func (s *Snapshot) recoveryVicinities(uniq []graph.WeightedLink, ng *graph.Graph
 			bu, bv = bv, bu
 		}
 		var out []graph.NodeID
+		//disco:orderinvariant per-candidate order is absorbed: the merged affected set is sorted before return
 		for x, du := range bu {
 			dv, ok := bv[x]
 			if !ok {
@@ -714,6 +715,7 @@ func (s *Snapshot) recoveryRows(uniq []graph.WeightedLink, ng *graph.Graph) (row
 		rows[row] = prows[i]
 	}
 
+	//disco:orderinvariant rows are independent; each iteration writes only rows[row] and a count
 	for row, ps := range patchesByRow {
 		// Fold multiple candidates per node to the earliest-settling one,
 		// then let it contest the row's current parent.
@@ -725,6 +727,7 @@ func (s *Snapshot) recoveryRows(uniq []graph.WeightedLink, ng *graph.Graph) (row
 			}
 		}
 		var prow []graph.NodeID
+		//disco:orderinvariant patches write prow[v] only; the fold to best already picked the first-settler per node
 		for v, pc := range best {
 			p0 := s.parentAt(row, v)
 			if !settlesBefore(pc.d, pc.p, s.rowDist(row, p0), p0) {

@@ -170,11 +170,13 @@ func pushOverlay(prev *overlay, vic map[graph.NodeID]*vicinity.Set, rows map[int
 	o.shards = o.size()
 	if o.prev != nil {
 		o.shards = o.prev.shards
+		//disco:orderinvariant findVic is a pure chain lookup; the loop only counts members
 		for v := range o.vic {
 			if _, ok := o.prev.findVic(v); !ok {
 				o.shards++
 			}
 		}
+		//disco:orderinvariant findRow is a pure chain lookup; the loop only counts members
 		for row := range o.rows {
 			if _, ok := o.prev.findRow(row); !ok {
 				o.shards++

@@ -114,6 +114,7 @@ func (v *VRR) seal() {
 	v.vflat = make([]graph.NodeID, 0, vtotal)
 	for u := 0; u < n; u++ {
 		start := len(v.flat)
+		//disco:orderinvariant the per-node window of flat appended here is sorted immediately below
 		for _, e := range v.tables[u] {
 			v.flat = append(v.flat, e)
 		}
@@ -132,6 +133,7 @@ func (v *VRR) seal() {
 			return a.back < b.back
 		})
 		vstart := len(v.vflat)
+		//disco:orderinvariant the per-node window of vflat appended here is sorted immediately below
 		for peer := range v.vsets[u] {
 			v.vflat = append(v.vflat, peer)
 		}
@@ -244,6 +246,7 @@ func (v *VRR) join(x graph.NodeID) {
 		for _, w := range v.wantVSet(z) {
 			want[w] = true
 		}
+		//disco:orderinvariant teardown removes only this iteration's (peer, pid) entry here; decisions read the ring, not vset state
 		for peer, pid := range v.vsets[z] {
 			if want[peer] {
 				continue
@@ -347,6 +350,7 @@ func (v *VRR) nextHop(u, t graph.NodeID) (graph.NodeID, bool) {
 			consider(e.To, e.To)
 		}
 	} else {
+		//disco:orderinvariant consider is a min-fold with a total-order tie-break on (ep, via)
 		for _, e := range v.tables[u] {
 			if e.toward != graph.None {
 				consider(e.b, e.toward)
